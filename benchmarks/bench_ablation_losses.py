@@ -1,0 +1,55 @@
+"""Training-recipe ablation (SS IV-A): the paper reports trying focal and
+class-balanced losses and settling on plain BCE with MixUp + a weighted
+sampler.  This bench retrains under each loss and compares.
+"""
+
+import numpy as np
+
+from repro.harness import format_table, write_report
+from repro.ml import CutDataset, TrainConfig, confusion, train_classifier
+
+from conftest import record_report
+
+
+def test_loss_ablation(benchmark, epfl_datasets):
+    merged = CutDataset.concatenate(list(epfl_datasets.values()), "all")
+    train, test = merged.split(0.8, seed=1)
+
+    def evaluate(loss, mixup):
+        config = TrainConfig(
+            epochs=10, patience=5, seed=0, loss=loss, mixup_alpha=mixup
+        )
+        result = train_classifier(train, config)
+        fused = result.fused_model()
+        probs = 1.0 / (1.0 + np.exp(-fused.forward_logits(test.x)))
+        return confusion(test.y > 0.5, probs >= 0.5)
+
+    bce = benchmark.pedantic(
+        lambda: evaluate("bce", 0.2), rounds=1, iterations=1
+    )
+    variants = {
+        "bce + mixup (paper)": bce,
+        "bce, no mixup": evaluate("bce", 0.0),
+        "focal": evaluate("focal", 0.2),
+        "class-balanced": evaluate("class_balanced", 0.2),
+    }
+    rows = [
+        [name, f"{100 * c.recall:.1f}%", f"{100 * c.accuracy:.1f}%", f"{c.f1:.3f}"]
+        for name, c in variants.items()
+    ]
+    text = format_table(
+        ["Loss", "Recall", "Accuracy", "F1"],
+        rows,
+        title="Loss ablation (paper settled on BCE + MixUp)",
+    )
+    write_report("ablation_losses", text)
+    record_report("ablation_losses", text)
+
+    # Every recipe must at least learn something.
+    for name, c in variants.items():
+        assert c.recall > 0.3, (name, c)
+    # At the paper's data scale BCE+MixUp won outright; at ours the focal
+    # loss can edge ahead on F1 — require BCE to stay in the same league
+    # on recall (the quantity the paper optimizes for).
+    best_recall = max(c.recall for c in variants.values())
+    assert bce.recall >= 0.6 * best_recall, (bce.recall, best_recall)

@@ -1,0 +1,59 @@
+"""Ablation (SS III-B): batching all cut features into one tensor vs
+classifying per node.  The paper credits batching (plus the fused MVN
+node) for keeping inference negligible; streaming pays per-call
+overhead on every node.
+"""
+
+from repro.elf import ElfParams, elf_refactor
+from repro.harness import format_table, write_report
+
+from conftest import record_report
+
+
+def test_batched_vs_streaming_inference(benchmark, epfl, epfl_classifiers):
+    name = "multiplier"
+    g = epfl[name]
+    classifier = epfl_classifiers[name]
+
+    def batched():
+        return elf_refactor(g.clone(), classifier, ElfParams(batched=True))
+
+    def streaming():
+        return elf_refactor(g.clone(), classifier, ElfParams(batched=False))
+
+    stats_batched = benchmark.pedantic(batched, rounds=1, iterations=1)
+    stats_streaming = streaming()
+
+    per_node_batched = stats_batched.time_inference / max(
+        1, stats_batched.nodes_visited
+    )
+    per_node_streaming = stats_streaming.time_inference / max(
+        1, stats_streaming.nodes_visited
+    )
+    rows = [
+        [
+            "batched",
+            f"{stats_batched.time_inference * 1e3:.2f}ms",
+            f"{per_node_batched * 1e6:.2f}us",
+            stats_batched.pruned,
+        ],
+        [
+            "streaming",
+            f"{stats_streaming.time_inference * 1e3:.2f}ms",
+            f"{per_node_streaming * 1e6:.2f}us",
+            stats_streaming.pruned,
+        ],
+    ]
+    text = format_table(
+        ["Mode", "Total inference", "Per node", "Pruned"],
+        rows,
+        title="Batched vs streaming classification (paper's batching trick)",
+    )
+    write_report("batch_vs_stream", text)
+    record_report("batch_vs_stream", text)
+
+    # Batching must be dramatically cheaper per node.
+    assert per_node_batched < per_node_streaming / 5, (
+        per_node_batched,
+        per_node_streaming,
+    )

@@ -1,0 +1,57 @@
+"""Figure 1: the redundancy flow numbers.
+
+The paper's flow diagram annotates: cuts originally NOT committed
+89.2-99.9%, originally committed 0.05-10.8%, and ELF pruning 69.4-95.1%
+of the nodes.  This bench measures all three quantities on both suites.
+"""
+
+from repro.harness import format_table, redundancy_rows, write_report
+
+from conftest import record_report
+
+
+def test_fig1_redundancy(
+    benchmark, epfl, epfl_classifiers, industrial, industrial_classifiers
+):
+    def run():
+        rows = redundancy_rows(epfl, epfl_classifiers)
+        rows += redundancy_rows(industrial, industrial_classifiers)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_rows = [
+        [
+            r.design,
+            f"{r.commit_pct:.2f}%",
+            f"{r.fail_pct:.2f}%",
+            f"{r.elf_prune_pct:.2f}%",
+        ]
+        for r in rows
+    ]
+    fail_values = [r.fail_pct for r in rows]
+    prune_values = [r.elf_prune_pct for r in rows]
+    summary = (
+        f"fail range {min(fail_values):.1f}-{max(fail_values):.1f}% "
+        f"(paper 89.2-99.9) | prune range {min(prune_values):.1f}-"
+        f"{max(prune_values):.1f}% (paper 69.4-95.1)"
+    )
+    text = (
+        format_table(
+            ["Design", "Committed", "Not committed", "ELF prunes"],
+            table_rows,
+            title="Figure 1 - redundancy in refactoring and ELF pruning",
+        )
+        + "\n"
+        + summary
+    )
+    write_report("fig1_redundancy", text)
+    record_report("fig1", text)
+
+    # The motivating observation: the overwhelming majority of cuts fail.
+    assert min(fail_values) > 85.0, fail_values
+    assert max(fail_values) <= 100.0
+    # ELF prunes a large share of the nodes (paper band 69.4-95.1%; a few
+    # of our leave-one-out folds prune much less aggressively).
+    assert sum(prune_values) / len(prune_values) > 55.0, prune_values
+    assert sum(p > 40.0 for p in prune_values) >= len(prune_values) - 3, prune_values
+    assert max(prune_values) < 100.0

@@ -1,0 +1,67 @@
+"""Figure 4: SHAP values per feature for the trained classifier.
+
+Exact Shapley enumeration (2^6 coalitions).  The paper's directional
+reads: few reconvergent nodes pushes toward "no refactor" (positive
+association between reconvergence and refactoring), while many leaves,
+high root level and large cut size push against refactoring.
+"""
+
+import numpy as np
+
+from repro.analysis import mean_abs_shap, shap_direction, shapley_values
+from repro.cuts import FEATURE_NAMES
+from repro.harness import feature_matrix, format_table, write_report
+
+from conftest import record_report
+
+
+def test_fig4_shap(benchmark, epfl_datasets, epfl_classifiers):
+    x, y = feature_matrix(epfl_datasets, max_per_design=120)
+    classifier = next(iter(epfl_classifiers.values()))
+    background = x[np.random.default_rng(0).choice(len(x), size=min(200, len(x)), replace=False)]
+    samples = x[: min(150, len(x))]
+
+    # Shapley needs a fixed per-row value function, but the deployed
+    # classifier normalizes by *batch* statistics (the MVN node).  Freeze
+    # the normalization to the background statistics so the explained
+    # model is well-defined.
+    mean = background.mean(axis=0)
+    std = background.std(axis=0)
+    std[std < 1e-9] = 1.0
+
+    def predict(batch):
+        z = (np.asarray(batch, dtype=np.float64) - mean) / std
+        logits = classifier.model.forward_logits(z)
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+
+    phi = benchmark.pedantic(
+        lambda: shapley_values(predict, samples, background),
+        rounds=1,
+        iterations=1,
+    )
+    importance = mean_abs_shap(phi)
+    direction = shap_direction(phi, samples)
+
+    rows = [
+        [FEATURE_NAMES[j], f"{importance[j]:.4f}", f"{direction[j]:+.2f}"]
+        for j in np.argsort(-importance)
+    ]
+    text = format_table(
+        ["Feature", "mean |SHAP|", "value/SHAP corr"],
+        rows,
+        title="Figure 4 - exact Shapley values per feature",
+    )
+    write_report("fig4_shap", text)
+    record_report("fig4", text)
+
+    by_name = {FEATURE_NAMES[j]: (importance[j], direction[j]) for j in range(6)}
+    # Every feature carries attribution mass.  Directions are *reported*
+    # rather than asserted: at our data scale they vary between trained
+    # folds (the paper's directional reads are discussed in
+    # EXPERIMENTS.md), while the attribution itself is exact.
+    assert importance.sum() > 0
+    assert all(importance[j] >= 0 for j in range(6))
+    # Efficiency axiom sanity: SHAP rows sum to f(x) - f(reference).
+    reference = background.mean(axis=0)
+    expected = predict(samples) - predict(reference[None, :])
+    assert np.allclose(phi.sum(axis=1), expected, atol=1e-8)

@@ -1,0 +1,80 @@
+"""Claim check (SS III-B): per-cut GCN inference costs ~30x the cut's own
+resynthesis, which disqualifies graph networks for this task, while the
+batched MLP costs a tiny fraction of it.
+"""
+
+import time
+
+import numpy as np
+
+from repro.circuits import epfl_circuit
+from repro.cuts import reconv_cut, stack_features
+from repro.harness import format_table, write_report
+from repro.ml import MLP, CutGCN, cut_graph_tensors
+
+from conftest import record_report
+
+
+def test_gcn_vs_batched_mlp_inference(benchmark):
+    g = epfl_circuit("multiplier")
+    nodes = g.and_ids()[:300]
+    cuts = [reconv_cut(g, n) for n in nodes]
+    gcn = CutGCN()
+    graphs = [cut_graph_tensors(g, c) for c in cuts]
+    features = stack_features([c.features for c in cuts])
+    mlp = MLP().fuse_normalization(
+        features.mean(axis=0), np.maximum(features.std(axis=0), 1e-3)
+    )
+
+    # Per-cut GCN forward (the architecture the paper rejects).
+    def gcn_all():
+        return [gcn.forward(a, f) for a, f in graphs]
+
+    t0 = time.perf_counter()
+    gcn_all()
+    gcn_time = time.perf_counter() - t0
+
+    # One batched MLP matmul for every cut (the deployed design).
+    result = benchmark.pedantic(
+        lambda: mlp.predict_proba(features), rounds=5, iterations=1
+    )
+    t0 = time.perf_counter()
+    mlp.predict_proba(features)
+    mlp_time = time.perf_counter() - t0
+
+    # Resynthesis cost of the same cuts, for the 30x comparison.
+    from repro.aig import cone_truth
+    from repro.factor import factor
+    from repro.tt import isop_exact
+
+    t0 = time.perf_counter()
+    for cut in cuts:
+        tt = cone_truth(g, cut.root, cut.leaves)
+        factor(isop_exact(tt, cut.n_leaves))
+    resynth_time = time.perf_counter() - t0
+
+    per_cut_gcn = gcn_time / len(cuts)
+    per_cut_mlp = mlp_time / len(cuts)
+    per_cut_resynth = resynth_time / len(cuts)
+    rows = [
+        ["GCN (per cut)", f"{1e6 * per_cut_gcn:.1f}us", f"{per_cut_gcn / per_cut_resynth:.1f}x"],
+        ["batched MLP (per cut)", f"{1e6 * per_cut_mlp:.2f}us", f"{per_cut_mlp / per_cut_resynth:.3f}x"],
+        ["resynthesis (per cut)", f"{1e6 * per_cut_resynth:.1f}us", "1x"],
+    ]
+    text = format_table(
+        ["Inference", "Cost", "vs resynthesis"],
+        rows,
+        title="GCN vs batched MLP inference cost (paper: GCN ~30x resynthesis)",
+    )
+    write_report("gcn_inference", text)
+    record_report("gcn_inference", text)
+
+    assert result.shape == (len(cuts),)
+    # The structural claim that survives the substrate change: per-cut GCN
+    # inference costs orders of magnitude more than the batched MLP, while
+    # the batched MLP is a negligible fraction of resynthesis.  (The
+    # paper's 30x GCN-vs-resynthesis ratio compares PyTorch against C;
+    # here resynthesis is Python and the GCN is NumPy, which deflates that
+    # particular ratio — see EXPERIMENTS.md.)
+    assert per_cut_gcn > 20 * per_cut_mlp, (per_cut_gcn, per_cut_mlp)
+    assert per_cut_mlp < 0.05 * per_cut_resynth

@@ -1,0 +1,73 @@
+"""Table V: original refactor vs ELF on the ten industrial-style designs.
+
+Paper shape: 2.01-4.29x speedups, AND growth <=0.08%, levels almost
+unchanged; classifiers never see the test design (leave-one-out).
+"""
+
+from repro.harness import comparison_rows, format_table, write_report
+
+from conftest import record_report
+
+PAPER_SPEEDUP = {
+    "design_1": 3.10,
+    "design_2": 3.47,
+    "design_3": 3.32,
+    "design_4": 4.29,
+    "design_5": 2.32,
+    "design_6": 2.48,
+    "design_7": 2.24,
+    "design_8": 2.48,
+    "design_9": 2.27,
+    "design_10": 2.01,
+}
+
+
+def test_table5_industrial_elf(benchmark, industrial, industrial_classifiers):
+    rows = benchmark.pedantic(
+        lambda: comparison_rows(industrial, industrial_classifiers),
+        rounds=1,
+        iterations=1,
+    )
+    table_rows = []
+    for r in rows:
+        table_rows.append(
+            [
+                r.design,
+                r.nodes_before,
+                f"{r.baseline_runtime:.2f}",
+                r.baseline_ands,
+                r.baseline_level,
+                f"{r.elf_runtime:.2f}",
+                r.elf_ands,
+                r.elf_level,
+                f"{r.speedup:.2f}x",
+                f"{PAPER_SPEEDUP[r.design]:.2f}x",
+                f"{r.and_diff_pct:+.2f}%",
+            ]
+        )
+    text = format_table(
+        [
+            "Design",
+            "Nodes",
+            "ABC s",
+            "ABC And",
+            "ABC Lvl",
+            "ELF s",
+            "ELF And",
+            "ELF Lvl",
+            "Speedup",
+            "paper",
+            "dAnd",
+        ],
+        table_rows,
+        title="Table V - refactor in original form vs ELF (industrial designs)",
+    )
+    write_report("table5_industrial_elf", text)
+    record_report("table5", text)
+
+    speedups = [r.speedup for r in rows]
+    assert sum(s > 1.25 for s in speedups) >= 7, speedups
+    diffs = [abs(r.and_diff_pct) for r in rows]
+    assert sum(diffs) / len(diffs) < 3.0, diffs
+    for r in rows:
+        assert r.elf_ands >= r.baseline_ands

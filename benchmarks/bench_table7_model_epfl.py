@@ -1,0 +1,56 @@
+"""Table VII: classifier quality on the EPFL-like circuits.
+
+Leave-one-out recall/accuracy plus the raw confusion counts.  Paper
+band: recall 76-100% (mostly >=93%), accuracy 77-96%.
+"""
+
+from repro.harness import format_table, model_quality, write_report
+
+from conftest import record_report
+
+PAPER = {
+    "div": (76, 84),
+    "hyp": (100, 77),
+    "log2": (93, 90),
+    "multiplier": (100, 96),
+    "sqrt": (97, 92),
+    "square": (94, 84),
+}
+
+
+def test_table7_model_quality_epfl(benchmark, epfl_datasets, epfl_classifiers):
+    quality = benchmark.pedantic(
+        lambda: model_quality(epfl_datasets, epfl_classifiers),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, c in quality.items():
+        rows.append(
+            [
+                name,
+                f"{100 * c.recall:.0f}%",
+                f"{100 * c.accuracy:.0f}%",
+                c.tp,
+                c.tn,
+                c.fp,
+                c.fn,
+                f"{PAPER[name][0]}%",
+                f"{PAPER[name][1]}%",
+            ]
+        )
+    text = format_table(
+        ["Design", "Recall", "Accuracy", "TP", "TN", "FP", "FN", "paper R", "paper A"],
+        rows,
+        title="Table VII - model quality on EPFL-like circuits (leave-one-out)",
+    )
+    write_report("table7_model_epfl", text)
+    record_report("table7", text)
+
+    recalls = [c.recall for c in quality.values()]
+    accuracies = [c.accuracy for c in quality.values()]
+    # Bands widened vs the paper (76-100% recall): our scaled circuits
+    # give the classifier ~20x less training signal (see EXPERIMENTS.md).
+    assert sum(recalls) / len(recalls) > 0.65, recalls
+    assert min(recalls) > 0.35, recalls
+    assert sum(accuracies) / len(accuracies) > 0.65, accuracies

@@ -1,0 +1,62 @@
+"""Table VIII: classifier quality on the industrial-style designs.
+
+Paper band: recall 81-100%, accuracy 74-93%, averages 91.8%/81.0%.
+"""
+
+from repro.harness import format_table, model_quality, write_report
+
+from conftest import record_report
+
+PAPER = {
+    "design_1": (94, 92),
+    "design_2": (81, 85),
+    "design_3": (100, 93),
+    "design_4": (89, 93),
+    "design_5": (100, 81),
+    "design_6": (100, 87),
+    "design_7": (91, 79),
+    "design_8": (100, 79),
+    "design_9": (94, 85),
+    "design_10": (100, 74),
+}
+
+
+def test_table8_model_quality_industrial(
+    benchmark, industrial_datasets, industrial_classifiers
+):
+    quality = benchmark.pedantic(
+        lambda: model_quality(industrial_datasets, industrial_classifiers),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, c in quality.items():
+        rows.append(
+            [
+                name,
+                f"{100 * c.recall:.0f}%",
+                f"{100 * c.accuracy:.0f}%",
+                c.tp,
+                c.tn,
+                c.fp,
+                c.fn,
+                f"{PAPER[name][0]}%",
+                f"{PAPER[name][1]}%",
+            ]
+        )
+    text = format_table(
+        ["Design", "Recall", "Accuracy", "TP", "TN", "FP", "FN", "paper R", "paper A"],
+        rows,
+        title="Table VIII - model quality on industrial designs (leave-one-out)",
+    )
+    write_report("table8_model_industrial", text)
+    record_report("table8", text)
+
+    recalls = [c.recall for c in quality.values()]
+    accuracies = [c.accuracy for c in quality.values()]
+    # Recall-driven behaviour reproduces (the model protects positives);
+    # accuracy on the synthetic industrial suite runs below the paper's
+    # 74-93% because several designs share few structural regularities at
+    # this scale — see EXPERIMENTS.md.
+    assert sum(recalls) / len(recalls) > 0.65, recalls
+    assert sum(accuracies) / len(accuracies) > 0.40, accuracies

@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy artifacts (benchmark circuits, harvested datasets, leave-one-out
+classifiers) are session-scoped here and persisted by the harness cache,
+so the full `pytest benchmarks/ --benchmark-only` run trains everything
+once and every later run reuses it.  Generated tables are echoed into
+the terminal summary so they survive output capture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import epfl_suite, industrial_suite
+from repro.harness import loo_classifiers, suite_datasets
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def record_report(name: str, content: str) -> None:
+    """Register a rendered table for the end-of-run summary."""
+    _REPORTS.append((name, content))
+
+
+@pytest.fixture(scope="session")
+def epfl():
+    return epfl_suite("default")
+
+
+@pytest.fixture(scope="session")
+def epfl_datasets(epfl):
+    return suite_datasets(epfl, "epfl")
+
+
+@pytest.fixture(scope="session")
+def epfl_classifiers(epfl_datasets):
+    return loo_classifiers(epfl_datasets, "epfl")
+
+
+@pytest.fixture(scope="session")
+def industrial():
+    return industrial_suite()
+
+
+@pytest.fixture(scope="session")
+def industrial_datasets(industrial):
+    return suite_datasets(industrial, "industrial")
+
+
+@pytest.fixture(scope="session")
+def industrial_classifiers(industrial_datasets):
+    return loo_classifiers(industrial_datasets, "industrial")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for name, content in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(content)

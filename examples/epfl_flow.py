@@ -1,0 +1,40 @@
+"""The paper's EPFL experiment in miniature (Table III, one circuit).
+
+Trains leave-one-out on five EPFL-like arithmetic circuits, deploys on
+the sixth, and prints the ABC-vs-ELF comparison row.
+
+Run:  python examples/epfl_flow.py [design]   (default: multiplier)
+"""
+
+import sys
+
+from repro.circuits import EPFL_NAMES, epfl_suite
+from repro.elf import collect_dataset, compare, train_leave_one_out
+from repro.ml import TrainConfig
+
+
+def main(design: str = "multiplier") -> None:
+    if design not in EPFL_NAMES:
+        raise SystemExit(f"unknown design {design!r}; choose from {EPFL_NAMES}")
+    suite = epfl_suite("default")
+    print("collecting training data (baseline refactor on every circuit)...")
+    datasets = {name: collect_dataset(g) for name, g in suite.items()}
+    for name, ds in datasets.items():
+        print(f"  {name:11s} {len(ds):5d} cuts, {ds.n_positive:4d} refactorable "
+              f"({100 * ds.imbalance:.2f}%)")
+
+    print(f"training leave-one-out classifier (test = {design})...")
+    classifier = train_leave_one_out(datasets, design, TrainConfig(epochs=20))
+
+    print("comparing baseline refactor vs ELF...")
+    row = compare(suite[design], classifier)
+    print(
+        f"  {row.design}: baseline {row.baseline_runtime:.2f}s -> "
+        f"ELF {row.elf_runtime:.2f}s = {row.speedup:.2f}x speedup | "
+        f"ANDs {row.baseline_ands} vs {row.elf_ands} ({row.and_diff_pct:+.2f}%) | "
+        f"pruned {100 * row.prune_fraction:.1f}% of nodes"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "multiplier")

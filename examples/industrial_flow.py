@@ -1,0 +1,57 @@
+"""ELF inside a full synthesis flow on an industrial-style design.
+
+Profiles a resyn2-style script (balance/rewrite/refactor), then swaps the
+refactor steps for ELF and compares end-to-end runtime and quality —
+the deployment story of the paper's Section II.
+
+Run:  python examples/industrial_flow.py
+"""
+
+from repro.circuits import industrial_design, industrial_suite
+from repro.elf import collect_dataset, train_leave_one_out
+from repro.ml import TrainConfig
+from repro.opt import run_flow
+from repro.verify import equivalent
+
+FLOW_BASE = "b; rw; rf; b; rfz; rw; b"
+FLOW_ELF = "b; rw; elf; b; elfz; rw; b"
+
+
+def main() -> None:
+    target = 3
+    print("collecting datasets from the other industrial designs...")
+    datasets = {
+        name: collect_dataset(g)
+        for name, g in industrial_suite().items()
+        if name != f"design_{target}"
+    }
+    datasets[f"design_{target}"] = collect_dataset(industrial_design(target))
+    classifier = train_leave_one_out(
+        datasets, f"design_{target}", TrainConfig(epochs=15)
+    )
+
+    g = industrial_design(target)
+    print(f"design_{target}: {g.n_ands} ANDs, level {g.max_level()}")
+
+    base_out, base_report = run_flow(g.clone(), FLOW_BASE)
+    elf_out, elf_report = run_flow(g.clone(), FLOW_ELF, classifier=classifier)
+
+    print(f"\n{'step':8s} {'base s':>8s} {'elf s':>8s}")
+    for bs, es in zip(base_report.steps, elf_report.steps):
+        print(f"{bs.command:8s} {bs.runtime:8.2f} {es.runtime:8.2f}  ({es.command})")
+    print(
+        f"\nflow runtime: {base_report.total_runtime:.2f}s -> "
+        f"{elf_report.total_runtime:.2f}s "
+        f"({base_report.total_runtime / max(elf_report.total_runtime, 1e-9):.2f}x)"
+    )
+    print(
+        f"quality: {base_out.n_ands} vs {elf_out.n_ands} ANDs "
+        f"({100 * (elf_out.n_ands - base_out.n_ands) / base_out.n_ands:+.2f}%), "
+        f"levels {base_out.max_level()} vs {elf_out.max_level()}"
+    )
+    assert equivalent(g, elf_out, method="sim")
+    print("random-simulation equivalence check passed")
+
+
+if __name__ == "__main__":
+    main()

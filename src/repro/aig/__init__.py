@@ -1,0 +1,68 @@
+"""And-Inverter Graph substrate.
+
+The foundation every other subsystem builds on: the strashed graph itself,
+literal helpers, traversals, levels, MFFC accounting, simulation, file I/O
+and invariant validation.
+"""
+
+from .graph import AIG, from_functions
+from .levels import RequiredLevels, levels_histogram
+from .literal import (
+    CONST0,
+    CONST1,
+    lit_is_compl,
+    lit_node,
+    lit_not,
+    lit_regular,
+    lit_with_compl,
+    lit_xor_compl,
+    make_lit,
+)
+from .mffc import mffc_deref, mffc_nodes, mffc_ref, mffc_size
+from .simulate import cone_truth, full_mask, node_values, simulate, var_mask
+from .stats import AigStats, stats
+from .strash import cleanup, strash
+from .traversal import (
+    cone_nodes,
+    support,
+    topological_order,
+    transitive_fanin,
+    transitive_fanout,
+)
+from .validate import check, is_valid
+
+__all__ = [
+    "AIG",
+    "AigStats",
+    "CONST0",
+    "CONST1",
+    "RequiredLevels",
+    "check",
+    "cleanup",
+    "cone_nodes",
+    "cone_truth",
+    "from_functions",
+    "full_mask",
+    "is_valid",
+    "levels_histogram",
+    "lit_is_compl",
+    "lit_node",
+    "lit_not",
+    "lit_regular",
+    "lit_with_compl",
+    "lit_xor_compl",
+    "make_lit",
+    "mffc_deref",
+    "mffc_nodes",
+    "mffc_ref",
+    "mffc_size",
+    "node_values",
+    "simulate",
+    "stats",
+    "strash",
+    "support",
+    "topological_order",
+    "transitive_fanin",
+    "transitive_fanout",
+    "var_mask",
+]

@@ -1,0 +1,112 @@
+"""BENCH netlist format support (ISCAS-style).
+
+Writes an AIG as a BENCH netlist of ``AND``/``NOT`` gates and reads the
+common combinational gate vocabulary (AND/OR/NAND/NOR/NOT/BUF/XOR/XNOR,
+with arbitrary arity), converting to AIG on the fly.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from pathlib import Path
+
+from ..errors import BenchFormatError
+from .graph import AIG
+from .literal import lit_node, lit_not
+
+
+def write(g: AIG, path: str | Path) -> None:
+    """Write ``g`` as a BENCH netlist."""
+    g = g.clone()
+    lines = [f"# {g.name}"]
+    for i in range(g.n_pis):
+        lines.append(f"INPUT(n{g.pis[i] * 2})")
+    for i in range(g.n_pos):
+        lines.append(f"OUTPUT(po{i})")
+    lines.append("n0 = gnd")
+    emitted_inverters: set[int] = set()
+
+    def lit_name(lit: int) -> str:
+        if lit & 1:
+            inv = f"n{lit}"
+            if lit not in emitted_inverters:
+                emitted_inverters.add(lit)
+                lines.append(f"{inv} = NOT(n{lit & ~1})")
+            return inv
+        return f"n{lit}"
+
+    for node in g.iter_ands():
+        f0, f1 = g.fanin_lits(node)
+        a, b = lit_name(f0), lit_name(f1)
+        lines.append(f"n{node * 2} = AND({a}, {b})")
+    for i, lit in enumerate(g.pos):
+        lines.append(f"po{i} = BUF({lit_name(lit)})")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
+
+
+_GATES = {
+    "AND": lambda g, lits: reduce(g.add_and, lits),
+    "NAND": lambda g, lits: lit_not(reduce(g.add_and, lits)),
+    "OR": lambda g, lits: reduce(g.add_or, lits),
+    "NOR": lambda g, lits: lit_not(reduce(g.add_or, lits)),
+    "XOR": lambda g, lits: reduce(g.add_xor, lits),
+    "XNOR": lambda g, lits: lit_not(reduce(g.add_xor, lits)),
+    "NOT": lambda g, lits: lit_not(lits[0]),
+    "BUF": lambda g, lits: lits[0],
+    "BUFF": lambda g, lits: lits[0],
+}
+
+
+def read(path: str | Path) -> AIG:
+    """Read a BENCH netlist into an AIG."""
+    g = AIG(Path(path).stem)
+    signals: dict[str, int] = {"gnd": 0, "vdd": 1}
+    pending: list[tuple[str, str, list[str]]] = []
+    outputs: list[str] = []
+    for raw in Path(path).read_text(encoding="ascii").splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        upper = line.upper()
+        if upper.startswith("INPUT("):
+            name = line[line.index("(") + 1 : line.rindex(")")].strip()
+            signals[name] = g.add_pi(name)
+        elif upper.startswith("OUTPUT("):
+            outputs.append(line[line.index("(") + 1 : line.rindex(")")].strip())
+        elif "=" in line:
+            lhs, rhs = (part.strip() for part in line.split("=", 1))
+            if "(" not in rhs:
+                alias = rhs.strip()
+                pending.append((lhs, "BUF", [alias]))
+                continue
+            gate = rhs[: rhs.index("(")].strip().upper()
+            args = [
+                a.strip()
+                for a in rhs[rhs.index("(") + 1 : rhs.rindex(")")].split(",")
+                if a.strip()
+            ]
+            if gate not in _GATES:
+                raise BenchFormatError(f"unsupported gate {gate!r} in {raw!r}")
+            pending.append((lhs, gate, args))
+        else:
+            raise BenchFormatError(f"cannot parse line: {raw!r}")
+    # Gates may be listed out of order; iterate until fixpoint.
+    remaining = pending
+    while remaining:
+        progressed = False
+        deferred = []
+        for lhs, gate, args in remaining:
+            if all(a in signals for a in args):
+                signals[lhs] = _GATES[gate](g, [signals[a] for a in args])
+                progressed = True
+            else:
+                deferred.append((lhs, gate, args))
+        if not progressed:
+            missing = {a for _, _, args in deferred for a in args if a not in signals}
+            raise BenchFormatError(f"undefined signals: {sorted(missing)[:5]}")
+        remaining = deferred
+    for name in outputs:
+        if name not in signals:
+            raise BenchFormatError(f"undefined output {name!r}")
+        g.add_po(signals[name], name)
+    return g

@@ -1,0 +1,62 @@
+"""Required-level (reverse level) computation.
+
+The *required level* of a node is the latest level it may sit at without
+increasing the network depth: ``required(po_driver) = depth`` and
+``required(n) = min over fanouts f of required(f) - 1``.  The refactor
+operator in level-preserving mode (ABC's ``refactor -l``) rejects any
+commit whose new root would exceed its required level.
+"""
+
+from __future__ import annotations
+
+from .graph import AIG
+from .literal import lit_node
+
+
+class RequiredLevels:
+    """Snapshot of required levels for all live nodes.
+
+    Recomputed per optimization pass (matching ABC, which starts reverse
+    levels once per operator invocation); ``is_stale`` reports whether the
+    graph changed since the snapshot was taken.
+    """
+
+    def __init__(self, g: AIG, slack: int = 0) -> None:
+        self._g = g
+        self._stamp = g.edit_stamp
+        depth = g.max_level() + slack
+        self.depth = depth
+        required = {node: depth for node in g.pis}
+        required[0] = depth
+        for lit in g.pos:
+            required[lit_node(lit)] = depth
+        from .traversal import topological_order
+
+        # Reverse topological sweep.
+        for node in reversed(topological_order(g)):
+            req = required.get(node, depth)
+            required[node] = req
+            f0, f1 = g.fanin_lits(node)
+            for fanin in (lit_node(f0), lit_node(f1)):
+                prev = required.get(fanin, depth)
+                if req - 1 < prev:
+                    required[fanin] = req - 1
+        self._required = required
+
+    def required(self, node: int) -> int:
+        """Required level of ``node``; nodes created after the snapshot get
+        the network depth (i.e. no constraint beyond global depth)."""
+        return self._required.get(node, self.depth)
+
+    @property
+    def is_stale(self) -> bool:
+        return self._stamp != self._g.edit_stamp
+
+
+def levels_histogram(g: AIG) -> dict[int, int]:
+    """Number of live AND nodes at each level (for stats/debugging)."""
+    hist: dict[int, int] = {}
+    for node in g.iter_ands():
+        lvl = g.level(node)
+        hist[lvl] = hist.get(lvl, 0) + 1
+    return hist

@@ -1,0 +1,51 @@
+"""AIGER-style literal encoding.
+
+A *literal* packs a node index and a complement flag into one integer:
+node ``i`` is referenced by literal ``2*i`` (regular) or ``2*i + 1``
+(complemented).  Node 0 is the structural constant, so literal 0 is
+constant false and literal 1 is constant true.  This is the exact
+convention of the AIGER format and of ABC's internal AIG package.
+"""
+
+from __future__ import annotations
+
+CONST0 = 0
+"""Literal for constant false."""
+
+CONST1 = 1
+"""Literal for constant true."""
+
+
+def make_lit(node: int, complemented: bool = False) -> int:
+    """Build a literal from a node index and a complement flag."""
+    return (node << 1) | int(complemented)
+
+
+def lit_node(lit: int) -> int:
+    """Node index referenced by ``lit``."""
+    return lit >> 1
+
+
+def lit_is_compl(lit: int) -> bool:
+    """True when ``lit`` is the complemented phase of its node."""
+    return bool(lit & 1)
+
+
+def lit_not(lit: int) -> int:
+    """Complement of ``lit``."""
+    return lit ^ 1
+
+
+def lit_regular(lit: int) -> int:
+    """The non-complemented literal of the same node."""
+    return lit & ~1
+
+
+def lit_with_compl(lit: int, complemented: bool) -> int:
+    """``lit`` with its complement bit forced to ``complemented``."""
+    return (lit & ~1) | int(complemented)
+
+
+def lit_xor_compl(lit: int, complemented: bool) -> int:
+    """``lit`` complemented iff ``complemented`` is true."""
+    return lit ^ int(complemented)

@@ -1,0 +1,32 @@
+"""Network statistics in the shape of the paper's Tables I/II."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import AIG
+
+
+@dataclass(frozen=True)
+class AigStats:
+    """Size/shape summary of an AIG (the paper's per-design columns)."""
+
+    name: str
+    n_ands: int
+    level: int
+    n_pis: int
+    n_pos: int
+
+    def row(self) -> tuple:
+        return (self.name, self.n_ands, self.level, self.n_pis, self.n_pos)
+
+
+def stats(g: AIG) -> AigStats:
+    """Collect :class:`AigStats` for ``g``."""
+    return AigStats(
+        name=g.name,
+        n_ands=g.n_ands,
+        level=g.max_level(),
+        n_pis=g.n_pis,
+        n_pos=g.n_pos,
+    )

@@ -1,0 +1,66 @@
+"""Strash rebuild and cleanup utilities.
+
+``strash`` re-hashes a network from scratch (also constant-propagating and
+deduplicating), which is how ABC normalizes a freshly read netlist.
+``cleanup`` removes dangling logic not reachable from any PO.
+"""
+
+from __future__ import annotations
+
+from .graph import AIG
+from .literal import lit_node
+
+
+def strash(g: AIG, name: str | None = None) -> AIG:
+    """Rebuild ``g`` bottom-up through the structural hash table.
+
+    Equivalent to :meth:`AIG.clone` today (the incremental API keeps the
+    network strashed at all times) but additionally drops logic that no PO
+    depends on.
+    """
+    out = AIG(name if name is not None else g.name)
+    old2new: dict[int, int] = {0: 0}
+    for pi_node, pi_name in zip(g.pis, [g.pi_name(i) for i in range(g.n_pis)]):
+        old2new[pi_node] = out.add_pi(pi_name)
+    from .traversal import topological_order
+
+    needed = _reachable_from_pos(g)
+    for node in topological_order(g):
+        if node not in needed:
+            continue
+        f0, f1 = g.fanin_lits(node)
+        a = old2new[lit_node(f0)] ^ (f0 & 1)
+        b = old2new[lit_node(f1)] ^ (f1 & 1)
+        old2new[node] = out.add_and(a, b)
+    for i, lit in enumerate(g.pos):
+        out.add_po(old2new[lit_node(lit)] ^ (lit & 1), g.po_name(i))
+    return out
+
+
+def cleanup(g: AIG) -> int:
+    """Delete live AND nodes unreachable from the POs, in place.
+
+    Returns the number of nodes removed.  (The incremental editing API
+    garbage-collects eagerly, so this normally removes nothing; it exists
+    for networks built by hand.)
+    """
+    needed = _reachable_from_pos(g)
+    before = g.n_ands
+    for node in reversed(g.and_ids()):
+        if node not in needed and not g.is_dead(node) and g.n_refs(node) == 0:
+            g._reap(node)
+    return before - g.n_ands
+
+
+def _reachable_from_pos(g: AIG) -> set[int]:
+    seen: set[int] = set()
+    stack = [lit_node(lit) for lit in g.pos]
+    while stack:
+        node = stack.pop()
+        if node in seen or not g.is_and(node):
+            continue
+        seen.add(node)
+        f0, f1 = g.fanin_lits(node)
+        stack.append(lit_node(f0))
+        stack.append(lit_node(f1))
+    return seen

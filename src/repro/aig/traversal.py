@@ -1,0 +1,98 @@
+"""Graph traversals: topological orders, fan-in/fan-out cones."""
+
+from __future__ import annotations
+
+from .graph import AIG
+from .literal import lit_node
+
+
+def topological_order(g: AIG) -> list[int]:
+    """Live AND ids in topological (fanins-first) order.
+
+    Creation order is topological for freshly built graphs, but node
+    replacement can rewire an old fanout onto a newer node, so edited
+    graphs need this explicit DFS post-order (ABC behaves the same way).
+    """
+    fanin0, fanin1 = g._fanin0, g._fanin1
+    n = g.n_nodes
+    visited = bytearray(n)
+    order: list[int] = []
+    for seed in range(1, n):
+        if visited[seed] or fanin0[seed] < 0:
+            continue
+        stack = [seed]
+        while stack:
+            node = stack[-1]
+            if visited[node]:
+                stack.pop()
+                continue
+            pending = []
+            for fl in (fanin0[node], fanin1[node]):
+                fanin = fl >> 1
+                if not visited[fanin] and fanin0[fanin] >= 0:
+                    pending.append(fanin)
+            if pending:
+                stack.extend(pending)
+            else:
+                visited[node] = 1
+                order.append(node)
+                stack.pop()
+    return order
+
+
+def transitive_fanin(g: AIG, roots: list[int], include_pis: bool = True) -> set[int]:
+    """All nodes in the transitive fanin cone of ``roots`` (inclusive)."""
+    seen: set[int] = set()
+    stack = [r for r in roots]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        if not include_pis and not g.is_and(node):
+            continue
+        seen.add(node)
+        if g.is_and(node):
+            f0, f1 = g.fanin_lits(node)
+            stack.append(lit_node(f0))
+            stack.append(lit_node(f1))
+    if not include_pis:
+        seen = {n for n in seen if g.is_and(n)}
+    return seen
+
+
+def transitive_fanout(g: AIG, roots: list[int]) -> set[int]:
+    """All AND nodes in the transitive fanout cone of ``roots`` (inclusive)."""
+    seen: set[int] = set()
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(g.fanouts(node))
+    return seen
+
+
+def cone_nodes(g: AIG, root: int, leaves: set[int]) -> list[int]:
+    """AND nodes strictly between ``leaves`` and ``root`` (root included).
+
+    Returned in topological (ascending id) order.  ``leaves`` themselves are
+    excluded.  This is the node set the paper calls *the cut* when it
+    counts ``cut size`` (Fig. 2: the triangle's interior plus the root).
+    """
+    cone: set[int] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node in cone or node in leaves or not g.is_and(node):
+            continue
+        cone.add(node)
+        f0, f1 = g.fanin_lits(node)
+        stack.append(lit_node(f0))
+        stack.append(lit_node(f1))
+    return sorted(cone)
+
+
+def support(g: AIG, root: int) -> set[int]:
+    """PI nodes in the structural fanin cone of ``root``."""
+    return {n for n in transitive_fanin(g, [root]) if g.is_pi(n)}

@@ -1,0 +1,115 @@
+"""Structural invariant checking for AIGs.
+
+Used heavily by the test suite and callable after any transformation to
+catch corruption early.  Checks:
+
+* fanins of live ANDs are live, earlier-created, and strash-canonical
+  (ordered pair, no trivial forms);
+* the strash table is exactly the set of live AND nodes;
+* reference counts equal fanout-list length plus PO uses;
+* fanout lists contain exactly the live users;
+* levels are consistent with fanin levels;
+* the live-AND counter matches reality.
+"""
+
+from __future__ import annotations
+
+from ..errors import AigError
+from .graph import AIG
+from .literal import lit_node
+
+
+def check(g: AIG) -> None:
+    """Raise :class:`AigError` describing the first violated invariant."""
+    expected_refs = {node: 0 for node in range(g.n_nodes)}
+    expected_fanouts: dict[int, list[int]] = {node: [] for node in range(g.n_nodes)}
+    n_live = 0
+    for node in range(1, g.n_nodes):
+        if g.is_dead(node) or g.is_pi(node):
+            continue
+        if not g.is_and(node):  # pragma: no cover - unreachable by design
+            raise AigError(f"node {node} has unknown type")
+        n_live += 1
+        f0, f1 = g.fanin_lits(node)
+        if f0 >= f1:
+            raise AigError(f"node {node}: fanins not strictly ordered ({f0}, {f1})")
+        if lit_node(f0) == lit_node(f1):
+            raise AigError(f"node {node}: duplicate fanin node")
+        if f0 <= 1:
+            raise AigError(f"node {node}: constant fanin not simplified")
+        for fl in (f0, f1):
+            fanin = lit_node(fl)
+            if g.is_dead(fanin):
+                raise AigError(f"node {node}: dead fanin {fanin}")
+            expected_refs[fanin] += 1
+            expected_fanouts[fanin].append(node)
+        expected_level = 1 + max(g.level(lit_node(f0)), g.level(lit_node(f1)))
+        if g.level(node) != expected_level:
+            raise AigError(
+                f"node {node}: level {g.level(node)} != expected {expected_level}"
+            )
+        if g._strash.get((f0, f1)) != node:
+            raise AigError(f"node {node}: missing or wrong strash entry")
+    if n_live != g.n_ands:
+        raise AigError(f"live AND count {g.n_ands} != actual {n_live}")
+    if len(g._strash) != n_live:
+        raise AigError(
+            f"strash table has {len(g._strash)} entries for {n_live} live ANDs"
+        )
+    for i, lit in enumerate(g.pos):
+        node = lit_node(lit)
+        if g.is_dead(node):
+            raise AigError(f"PO {i} driven by dead node {node}")
+        expected_refs[node] += 1
+    for node in range(g.n_nodes):
+        if g.is_dead(node):
+            continue
+        if g.n_refs(node) != expected_refs[node]:
+            raise AigError(
+                f"node {node}: refs {g.n_refs(node)} != expected {expected_refs[node]}"
+            )
+        if sorted(g._fanouts[node]) != sorted(expected_fanouts[node]):
+            raise AigError(f"node {node}: fanout list mismatch")
+    for (f0, f1), node in g._strash.items():
+        if g.is_dead(node):
+            raise AigError(f"strash entry ({f0},{f1}) points at dead node {node}")
+        if g.fanin_lits(node) != (f0, f1):
+            raise AigError(f"strash entry ({f0},{f1}) does not match node {node}")
+    _check_acyclic(g)
+
+
+def _check_acyclic(g: AIG) -> None:
+    """DFS with coloring: a grey-to-grey edge is a combinational cycle."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = bytearray(g.n_nodes)
+    for seed in range(1, g.n_nodes):
+        if color[seed] != WHITE or not g.is_and(seed):
+            continue
+        stack: list[tuple[int, bool]] = [(seed, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                color[node] = BLACK
+                continue
+            if color[node] == BLACK:
+                continue
+            if color[node] == GREY:
+                raise AigError(f"combinational cycle through node {node}")
+            color[node] = GREY
+            stack.append((node, True))
+            for fl in g.fanin_lits(node):
+                fanin = lit_node(fl)
+                if g.is_and(fanin):
+                    if color[fanin] == GREY:
+                        raise AigError(f"combinational cycle through node {fanin}")
+                    if color[fanin] == WHITE:
+                        stack.append((fanin, False))
+
+
+def is_valid(g: AIG) -> bool:
+    """Boolean wrapper around :func:`check`."""
+    try:
+        check(g)
+    except AigError:
+        return False
+    return True

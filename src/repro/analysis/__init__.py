@@ -1,0 +1,12 @@
+"""Explainability: exact t-SNE and exact Shapley values (Figs. 3-4)."""
+
+from .shap import mean_abs_shap, shap_direction, shapley_values
+from .tsne import trustworthiness, tsne
+
+__all__ = [
+    "mean_abs_shap",
+    "shap_direction",
+    "shapley_values",
+    "trustworthiness",
+    "tsne",
+]

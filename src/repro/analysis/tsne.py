@@ -1,0 +1,128 @@
+"""Exact t-SNE (van der Maaten & Hinton) in NumPy.
+
+Used to regenerate the paper's Figure 3: a 2-d embedding of the 6-d cut
+feature space with refactored/unrefactored coloring.  This is the exact
+O(n^2) formulation with perplexity calibration by bisection, adaptive
+enough for the few thousand points the figure uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TrainingError
+
+
+def tsne(
+    x: np.ndarray,
+    perplexity: float = 30.0,
+    n_iter: int = 300,
+    learning_rate: float = 100.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """2-d embedding of ``x`` (shape ``(n, d)``)."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise TrainingError("tsne expects a 2-d array")
+    n = x.shape[0]
+    if n < 5:
+        raise TrainingError("tsne needs at least 5 points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+
+    p = _joint_probabilities(x, perplexity)
+    rng = np.random.default_rng(seed)
+    y = rng.normal(scale=1e-2, size=(n, 2))
+    velocity = np.zeros_like(y)
+    gains = np.ones_like(y)
+
+    p_eff = p * 4.0  # early exaggeration
+    for iteration in range(n_iter):
+        if iteration == 100:
+            p_eff = p
+        grad = _gradient(p_eff, y)
+        momentum = 0.5 if iteration < 100 else 0.8
+        flips = np.sign(grad) != np.sign(velocity)
+        gains = np.where(flips, gains + 0.2, gains * 0.8)
+        np.clip(gains, 0.01, None, out=gains)
+        velocity = momentum * velocity - learning_rate * gains * grad
+        y = y + velocity
+        y = y - y.mean(axis=0)
+    return y
+
+
+def _joint_probabilities(x: np.ndarray, perplexity: float) -> np.ndarray:
+    distances = _pairwise_sq_distances(x)
+    n = x.shape[0]
+    target_entropy = np.log(perplexity)
+    p_cond = np.zeros((n, n))
+    for i in range(n):
+        p_cond[i] = _calibrate_row(distances[i], i, target_entropy)
+    p = (p_cond + p_cond.T) / (2.0 * n)
+    return np.maximum(p, 1e-12)
+
+
+def _calibrate_row(row: np.ndarray, i: int, target_entropy: float) -> np.ndarray:
+    """Bisection on the Gaussian precision to match the target entropy."""
+    beta, beta_min, beta_max = 1.0, 0.0, np.inf
+    for _ in range(50):
+        affinity = np.exp(-row * beta)
+        affinity[i] = 0.0
+        total = affinity.sum()
+        if total <= 0:
+            beta /= 2.0
+            beta_max = beta * 2.0
+            continue
+        prob = affinity / total
+        entropy = -np.sum(prob[prob > 0] * np.log(prob[prob > 0]))
+        error = entropy - target_entropy
+        if abs(error) < 1e-5:
+            break
+        if error > 0:
+            beta_min = beta
+            beta = beta * 2.0 if beta_max == np.inf else (beta + beta_max) / 2.0
+        else:
+            beta_max = beta
+            beta = (beta + beta_min) / 2.0
+    affinity = np.exp(-row * beta)
+    affinity[i] = 0.0
+    total = affinity.sum()
+    return affinity / total if total > 0 else affinity
+
+
+def _pairwise_sq_distances(x: np.ndarray) -> np.ndarray:
+    sq = (x * x).sum(axis=1)
+    d = sq[:, None] + sq[None, :] - 2.0 * (x @ x.T)
+    np.maximum(d, 0.0, out=d)
+    return d
+
+
+def _gradient(p: np.ndarray, y: np.ndarray) -> np.ndarray:
+    d = _pairwise_sq_distances(y)
+    inv = 1.0 / (1.0 + d)
+    np.fill_diagonal(inv, 0.0)
+    q = np.maximum(inv / inv.sum(), 1e-12)
+    pq = (p - q) * inv
+    return 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+
+
+def trustworthiness(x: np.ndarray, y: np.ndarray, k: int = 5) -> float:
+    """How well the embedding preserves k-NN structure (1 = perfect).
+
+    Standard trustworthiness measure; the test suite uses it to validate
+    the embedding quality quantitatively.
+    """
+    n = x.shape[0]
+    dx = _pairwise_sq_distances(np.asarray(x, dtype=np.float64))
+    dy = _pairwise_sq_distances(np.asarray(y, dtype=np.float64))
+    np.fill_diagonal(dx, np.inf)
+    np.fill_diagonal(dy, np.inf)
+    rank_x = dx.argsort(axis=1).argsort(axis=1)
+    nn_y = dy.argsort(axis=1)[:, :k]
+    penalty = 0.0
+    for i in range(n):
+        for j in nn_y[i]:
+            r = rank_x[i, j]
+            if r >= k:
+                penalty += r - k + 1
+    norm = n * k * (2 * n - 3 * k - 1) / 2.0
+    return 1.0 - 2.0 * penalty / norm if norm > 0 else 1.0

@@ -1,0 +1,58 @@
+"""Benchmark circuit generators: word-level arithmetic, the EPFL-like
+suite, synthetic industrial designs, and large synthetic circuits."""
+
+from .arith import (
+    adder,
+    alu,
+    divider,
+    hypotenuse,
+    isqrt,
+    log2_approx,
+    mac,
+    multiplier,
+    square,
+)
+from .epfl import EPFL_NAMES, PAPER_TABLE1, epfl_circuit, epfl_suite
+from .industrial import (
+    PAPER_TABLE2,
+    IndustrialProfile,
+    industrial_design,
+    industrial_profiles,
+    industrial_suite,
+)
+from .random_aig import random_aig, redundant_sop_block
+from .synthetic import (
+    PAPER_TABLE6,
+    SYNTHETIC_SIZES,
+    synthetic_circuit,
+    synthetic_suite,
+)
+from .words import Word
+
+__all__ = [
+    "EPFL_NAMES",
+    "IndustrialProfile",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE6",
+    "SYNTHETIC_SIZES",
+    "Word",
+    "adder",
+    "alu",
+    "divider",
+    "epfl_circuit",
+    "epfl_suite",
+    "hypotenuse",
+    "industrial_design",
+    "industrial_profiles",
+    "industrial_suite",
+    "isqrt",
+    "log2_approx",
+    "mac",
+    "multiplier",
+    "random_aig",
+    "redundant_sop_block",
+    "square",
+    "synthetic_circuit",
+    "synthetic_suite",
+]

@@ -1,0 +1,216 @@
+"""Arithmetic circuit generators (the EPFL-arithmetic-like family).
+
+Each generator builds a *functionally real* datapath from scratch via the
+word-level builder: restoring divider, hypotenuse (sqrt of sum of
+squares), normalizer+polynomial log2, array multiplier, restoring square
+root and squarer.  Bit widths are parameters; the EPFL-suite wrappers in
+:mod:`repro.circuits.epfl` pick widths that reproduce the paper's PI/PO
+structure at a Python-tractable scale.
+"""
+
+from __future__ import annotations
+
+from ..aig.graph import AIG
+from ..aig.literal import CONST0, CONST1, lit_not
+from .words import Word
+
+
+def adder(width: int, name: str = "adder") -> AIG:
+    """Ripple-carry adder: 2w PIs -> w+1 POs."""
+    g = AIG(name)
+    a = Word.inputs(g, width, "a")
+    b = Word.inputs(g, width, "b")
+    total, carry = a.add_with_carry(b)
+    total.outputs("s")
+    g.add_po(carry, "cout")
+    return g
+
+
+def multiplier(width: int, name: str = "multiplier") -> AIG:
+    """Array multiplier: 2w PIs -> 2w POs (EPFL ``multiplier`` shape)."""
+    g = AIG(name)
+    a = Word.inputs(g, width, "a")
+    b = Word.inputs(g, width, "b")
+    (a * b).outputs("p")
+    return g
+
+
+def square(width: int, name: str = "square") -> AIG:
+    """Squarer: w PIs -> 2w POs (EPFL ``square`` shape)."""
+    g = AIG(name)
+    a = Word.inputs(g, width, "a")
+    a.square().outputs("p")
+    return g
+
+
+def divider(width: int, name: str = "div") -> AIG:
+    """Restoring unsigned divider: 2w PIs -> 2w POs (quotient, remainder).
+
+    The deep w-stage compare/subtract chain gives the high logic depth
+    characteristic of EPFL ``div``.
+    """
+    g = AIG(name)
+    dividend = Word.inputs(g, width, "n")
+    divisor = Word.inputs(g, width, "d")
+    wide = width + 1
+    remainder = Word.const(g, 0, wide)
+    divisor_w = divisor.zext(wide)
+    quotient_bits = [CONST0] * width
+    for i in reversed(range(width)):
+        remainder = Word(g, [dividend.bits[i]] + remainder.bits[: wide - 1])
+        diff, fits = remainder.sub_with_borrow(divisor_w)
+        remainder = remainder.mux(fits, diff)
+        quotient_bits[i] = fits
+    Word(g, quotient_bits).outputs("q")
+    remainder.trunc(width).outputs("r")
+    return g
+
+
+def isqrt(width: int, name: str = "sqrt") -> AIG:
+    """Restoring integer square root: 2w PIs -> w POs.
+
+    Input is a 2w-bit radicand; output the w-bit floor square root.  The
+    w-stage restoring recurrence reproduces EPFL ``sqrt``'s very deep,
+    narrow structure.
+    """
+    g = AIG(name)
+    x = Word.inputs(g, 2 * width, "x")
+    wide = width + 2
+    remainder = Word.const(g, 0, wide)
+    root = Word.const(g, 0, wide)
+    for i in reversed(range(width)):
+        # remainder = remainder*4 + next two radicand bits
+        remainder = Word(
+            g,
+            [x.bits[2 * i], x.bits[2 * i + 1]] + remainder.bits[: wide - 2],
+        )
+        # trial = root*4 + 1
+        trial = Word(g, [CONST1, CONST0] + root.bits[: wide - 2])
+        diff, fits = remainder.sub_with_borrow(trial)
+        remainder = remainder.mux(fits, diff)
+        # root = root*2 + fits
+        root = Word(g, [fits] + root.bits[: wide - 1])
+    root.trunc(width).outputs("s")
+    return g
+
+
+def hypotenuse(width: int, name: str = "hyp") -> AIG:
+    """``floor(sqrt(x^2 + y^2))``: 2w PIs -> w+1 POs (EPFL ``hyp`` shape).
+
+    Two squarers, an adder, and a deep restoring square root chained
+    together, mirroring hyp's mixed wide/deep structure.
+    """
+    g = AIG(name)
+    x = Word.inputs(g, width, "x")
+    y = Word.inputs(g, width, "y")
+    total = x.square().zext(2 * width + 2) + y.square().zext(2 * width + 2)
+    out_width = width + 1
+    radicand = total.zext(2 * out_width)
+    wide = out_width + 2
+    remainder = Word.const(g, 0, wide)
+    root = Word.const(g, 0, wide)
+    for i in reversed(range(out_width)):
+        remainder = Word(
+            g,
+            [radicand.bits[2 * i], radicand.bits[2 * i + 1]]
+            + remainder.bits[: wide - 2],
+        )
+        trial = Word(g, [CONST1, CONST0] + root.bits[: wide - 2])
+        diff, fits = remainder.sub_with_borrow(trial)
+        remainder = remainder.mux(fits, diff)
+        root = Word(g, [fits] + root.bits[: wide - 1])
+    root.trunc(out_width).outputs("h")
+    return g
+
+
+def log2_approx(width: int, frac_bits: int | None = None, name: str = "log2") -> AIG:
+    """Fixed-point base-2 logarithm: w PIs -> w POs.
+
+    Priority-encode the MSB (integer part), barrel-normalize the operand,
+    then apply a quadratic polynomial ``f - f^2/2`` to the fractional
+    residue through a truncated multiplier.  This reproduces the wide,
+    multiplier-dominated structure of EPFL ``log2``; for input 0 the
+    output is 0 by convention.
+    """
+    g = AIG(name)
+    x = Word.inputs(g, width, "x")
+    frac_bits = frac_bits if frac_bits is not None else max(2, width - _clog2(width))
+    int_bits = _clog2(width)
+    # Priority encoder: position of the most significant set bit.
+    msb_pos = Word.const(g, 0, int_bits)
+    found = CONST0
+    for i in reversed(range(width)):
+        is_here = g.add_and(x.bits[i], lit_not(found))
+        candidate = Word.const(g, i, int_bits)
+        msb_pos = msb_pos.mux(is_here, candidate)
+        found = g.add_or(found, x.bits[i])
+    # Normalize: shift left so the MSB lands at the top bit.
+    shift = Word.const(g, width - 1, int_bits) - msb_pos
+    normalized = x.barrel_shift_left(shift.zext(_clog2(width)))
+    # Fractional residue f in [0, 1): the top bits below the leading one.
+    f = Word(g, normalized.bits[max(0, width - 1 - frac_bits) : width - 1])
+    f = f.zext(frac_bits)
+    # Quadratic correction: log2(1+f) ~ f + 3/8 * (f - f^2), exact at both
+    # endpoints and within ~0.015 across [0, 1).
+    f_squared = (f * f).slice(frac_bits, 2 * frac_bits)  # top half
+    t = f - f_squared
+    t_quarter = Word(g, t.bits[2:] + [CONST0] * 2)
+    t_eighth = Word(g, t.bits[3:] + [CONST0] * 3)
+    frac = f + t_quarter + t_eighth
+    # Assemble: integer part in the high bits, fraction below.
+    out = frac.zext(width)
+    for k in range(int_bits):
+        if frac_bits + k < width:
+            out.bits[frac_bits + k] = msb_pos.bits[k]
+    # Zero when the input is zero.
+    out = out.mux(lit_not(found), Word.const(g, 0, width))
+    out.outputs("l")
+    return g
+
+
+def mac(width: int, name: str = "mac") -> AIG:
+    """Multiply-accumulate ``a*b + c``: 3w PIs -> 2w+1 POs."""
+    g = AIG(name)
+    a = Word.inputs(g, width, "a")
+    b = Word.inputs(g, width, "b")
+    c = Word.inputs(g, width, "c")
+    product = a * b
+    total, carry = product.add_with_carry(c.zext(2 * width))
+    total.outputs("m")
+    g.add_po(carry, "cout")
+    return g
+
+
+def alu(width: int, name: str = "alu") -> AIG:
+    """A small ALU (add/sub/and/or/xor/lt) selected by a 3-bit opcode."""
+    g = AIG(name)
+    a = Word.inputs(g, width, "a")
+    b = Word.inputs(g, width, "b")
+    op = Word.inputs(g, 3, "op")
+    results = [
+        a + b,
+        a - b,
+        a & b,
+        a | b,
+        a ^ b,
+        Word(g, [a.ult(b)] + [CONST0] * (width - 1)),
+        ~a,
+        b,
+    ]
+    out = results[0]
+    for index in range(1, 8):
+        match = _opcode_is(g, op, index)
+        out = out.mux(match, results[index])
+    out.outputs("r")
+    return g
+
+
+def _opcode_is(g: AIG, op: Word, value: int) -> int:
+    acc = CONST1
+    for i, bit in enumerate(op.bits):
+        acc = g.add_and(acc, bit if value >> i & 1 else lit_not(bit))
+    return acc
+
+
+def _clog2(n: int) -> int:
+    return max(1, (n - 1).bit_length())

@@ -1,0 +1,96 @@
+"""The EPFL-arithmetic-like benchmark suite.
+
+The paper evaluates on the six largest EPFL arithmetic circuits (div,
+hyp, log2, multiplier, sqrt, square — Table I).  The original AIGER
+files are not redistributable here, so this module *regenerates*
+functionally real counterparts with the same PI/PO structure and circuit
+character using the generators in :mod:`repro.circuits.arith`.
+
+``scale`` selects the operand widths: ``"full"`` matches the paper's
+interfaces (64x64 multiplier = 128 PIs, etc.) but is impractically large
+for pure-Python refactoring; ``"default"`` is the laptop-scale used by
+the benchmark harness; ``"tiny"`` is for tests.  Redundancy statistics
+and ELF speedup shapes are scale-invariant (they are properties of the
+refactoring algorithm, not of absolute node counts) — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from ..aig.graph import AIG
+from ..errors import ReproError
+from .arith import divider, hypotenuse, isqrt, log2_approx, multiplier, square
+
+EPFL_NAMES = ("div", "hyp", "log2", "multiplier", "sqrt", "square")
+
+# name -> width per scale
+_WIDTHS = {
+    "tiny": {
+        "div": 5,
+        "hyp": 4,
+        "log2": 8,
+        "multiplier": 5,
+        "sqrt": 6,
+        "square": 5,
+    },
+    "default": {
+        "div": 12,
+        "hyp": 10,
+        "log2": 16,
+        "multiplier": 12,
+        "sqrt": 16,
+        "square": 12,
+    },
+    "large": {
+        "div": 24,
+        "hyp": 20,
+        "log2": 24,
+        "multiplier": 24,
+        "sqrt": 32,
+        "square": 24,
+    },
+    "full": {
+        "div": 64,
+        "hyp": 128,
+        "log2": 32,
+        "multiplier": 64,
+        "sqrt": 64,
+        "square": 64,
+    },
+}
+
+_GENERATORS = {
+    "div": divider,
+    "hyp": hypotenuse,
+    "log2": log2_approx,
+    "multiplier": multiplier,
+    "sqrt": isqrt,
+    "square": square,
+}
+
+
+def epfl_circuit(name: str, scale: str = "default") -> AIG:
+    """Build one EPFL-like circuit by name."""
+    if name not in _GENERATORS:
+        raise ReproError(f"unknown EPFL circuit {name!r}; have {EPFL_NAMES}")
+    if scale not in _WIDTHS:
+        raise ReproError(f"unknown scale {scale!r}; have {tuple(_WIDTHS)}")
+    width = _WIDTHS[scale][name]
+    g = _GENERATORS[name](width, name=name)
+    return g
+
+
+def epfl_suite(scale: str = "default") -> dict[str, AIG]:
+    """All six circuits, keyed by name."""
+    return {name: epfl_circuit(name, scale) for name in EPFL_NAMES}
+
+
+PAPER_TABLE1 = {
+    # design: (And, Level, PIs, POs, refactored, refactored_pct)
+    "div": (57247, 4372, 128, 128, 285, 0.50),
+    "hyp": (214335, 24801, 256, 128, 1992, 0.93),
+    "log2": (32060, 444, 32, 32, 530, 1.65),
+    "multiplier": (27062, 274, 128, 128, 247, 0.91),
+    "sqrt": (24618, 5058, 128, 64, 1806, 7.34),
+    "square": (18484, 250, 64, 128, 177, 0.96),
+}
+"""The paper's Table I, for side-by-side reporting."""

@@ -1,0 +1,251 @@
+"""Synthetic industrial-style designs (the paper's Table II stand-ins).
+
+The 10 industrial circuits in the paper are proprietary; what matters
+for reproducing the evaluation is their *shape*: shallow (tens of
+levels), wide, PI/PO-heavy control-dominated netlists whose refactor
+success ratio sits mostly below 1%, with two outliers near 4-11%
+(designs 5 and 10).
+
+This generator assembles such designs from realistic control blocks —
+mux trees, word comparators, parity/CRC slices, one-hot decoders, small
+ALU slices, AND-OR glue — plus a tunable dose of unfactored SOP blocks,
+which is the knob that controls how many nodes refactoring can win back.
+Designs are seeded deterministically by index.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..aig.graph import AIG
+from ..aig.literal import lit_not
+from ..aig.strash import cleanup
+from .random_aig import redundant_sop_block
+from .words import Word
+
+
+@dataclass(frozen=True)
+class IndustrialProfile:
+    """Shape parameters of one synthetic design."""
+
+    index: int
+    n_ands_target: int
+    n_pis: int
+    n_pos: int
+    redundancy: float  # fraction of blocks that are refactor-friendly
+    max_level: int  # depth budget (Table II's Level column)
+
+
+# Scaled-down echoes of Table II: node counts ~1/100 of the paper's,
+# PI/PO-heavy, shallow, with designs 5 and 10 carrying extra redundancy.
+# ``redundancy`` is calibrated so the refactored fraction lands near the
+# paper's Refactored column (mostly <1%, outliers at several percent).
+_PROFILES = [
+    IndustrialProfile(1, 3850, 131, 131, 0.009, 65),
+    IndustrialProfile(2, 2674, 278, 206, 0.013, 49),
+    IndustrialProfile(3, 6288, 356, 345, 0.008, 36),
+    IndustrialProfile(4, 1598, 358, 347, 0.024, 44),
+    IndustrialProfile(5, 4289, 523, 513, 0.500, 51),
+    IndustrialProfile(6, 5070, 263, 252, 0.004, 35),
+    IndustrialProfile(7, 3052, 202, 191, 0.008, 72),
+    IndustrialProfile(8, 771, 184, 183, 0.002, 40),
+    IndustrialProfile(9, 1906, 262, 261, 0.013, 71),
+    IndustrialProfile(10, 4237, 423, 338, 0.410, 40),
+]
+
+
+def industrial_profiles() -> list[IndustrialProfile]:
+    return list(_PROFILES)
+
+
+def industrial_design(index: int, size_factor: float = 1.0) -> AIG:
+    """Build synthetic ``design {index}`` (1-based, matching Table II)."""
+    if not 1 <= index <= len(_PROFILES):
+        raise ValueError(f"design index must be 1..{len(_PROFILES)}")
+    profile = _PROFILES[index - 1]
+    rng = random.Random(7000 + index)
+    g = AIG(f"design_{index}")
+    target = max(200, int(profile.n_ands_target * size_factor))
+    n_pis = max(16, int(profile.n_pis * size_factor**0.5))
+    n_pos = max(8, int(profile.n_pos * size_factor**0.5))
+
+    pool = [g.add_pi(f"in{i}") for i in range(n_pis)]
+    outputs: list[int] = []
+    level_budget = max(12, profile.max_level - 10)
+    sampler = _LevelBoundedSampler(g, pool, rng, level_budget, n_pis)
+
+    # Mux/parity/glue are essentially incompressible under refactoring
+    # (~0.1-0.4% success); comparators, adder slices and decoders carry
+    # genuine algebraic redundancy.  Scaling their share by the profile's
+    # redundancy reproduces the paper's Refactored column shape.
+    f = profile.redundancy
+    builders = [
+        (_mux_tree, 4.0),
+        (_parity_slice, 3.0),
+        (_and_or_glue, 3.0),
+        (_comparator, 12.0 * f),
+        (_alu_slice, 8.0 * f),
+        (_decoder, 4.0 * f),
+    ]
+    names, weights = zip(*builders)
+    while g.n_ands < target:
+        if rng.random() < 0.3 * f:
+            signal = redundant_sop_block(
+                g, sampler.take(6), rng.randint(3, 6), rng
+            )
+            new_signals = [signal]
+        else:
+            block = rng.choices(names, weights)[0]
+            new_signals = block(g, sampler, rng)
+        for s in new_signals:
+            if s > 1:
+                pool.append(s)
+                if rng.random() < 0.25:
+                    outputs.append(s)
+
+    rng.shuffle(outputs)
+    for lit in outputs[: n_pos - 1]:
+        g.add_po(lit)
+    # Ensure every remaining dangling signal feeds somewhere: reduce the
+    # unreferenced signals into one observability output with a *balanced*
+    # OR tree (a linear chain would blow the depth budget).
+    dangling = [
+        lit for lit in pool if lit > 1 and g.n_refs(lit >> 1) == 0
+    ]
+    g.add_po(_balanced_or(g, dangling), "observe")
+    cleanup(g)
+    return g
+
+
+def _balanced_or(g: AIG, lits: list[int]) -> int:
+    if not lits:
+        return 0
+    layer = list(lits)
+    while len(layer) > 1:
+        nxt = [
+            g.add_or(layer[i], layer[i + 1]) for i in range(0, len(layer) - 1, 2)
+        ]
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]
+
+
+def industrial_suite(size_factor: float = 1.0) -> dict[str, AIG]:
+    """All ten designs keyed ``design_1`` .. ``design_10``."""
+    return {
+        f"design_{i}": industrial_design(i, size_factor)
+        for i in range(1, len(_PROFILES) + 1)
+    }
+
+
+PAPER_TABLE2 = {
+    "design_1": (384971, 65, 13135, 13127, 1142, 0.30),
+    "design_2": (267358, 49, 27800, 20603, 1184, 0.44),
+    "design_3": (628777, 36, 35552, 34480, 1569, 0.25),
+    "design_4": (159763, 44, 35784, 34712, 1273, 0.80),
+    "design_5": (428904, 51, 52344, 51283, 46376, 10.8),
+    "design_6": (507027, 35, 26292, 25220, 603, 0.12),
+    "design_7": (305218, 72, 20228, 19148, 839, 0.28),
+    "design_8": (77130, 40, 18357, 18325, 42, 0.05),
+    "design_9": (190600, 71, 26168, 26139, 807, 0.42),
+    "design_10": (423661, 40, 42257, 33849, 19180, 4.53),
+}
+"""The paper's Table II, for side-by-side reporting."""
+
+
+# -- block builders -----------------------------------------------------------
+
+
+class _LevelBoundedSampler:
+    """Signal sampler that keeps the design shallow.
+
+    Signals above the level budget are replaced by a random PI, which
+    caps the depth near the per-design Table II level while still letting
+    blocks chain into each other below the cap.
+    """
+
+    def __init__(
+        self,
+        g: AIG,
+        pool: list[int],
+        rng: random.Random,
+        level_budget: int,
+        n_pis: int,
+    ) -> None:
+        self._g = g
+        self._pool = pool
+        self._rng = rng
+        self._budget = level_budget
+        self._n_pis = n_pis
+
+    def take(self, k: int) -> list[int]:
+        out = []
+        for _ in range(k):
+            lit = self._rng.choice(self._pool)
+            if self._g.level(lit >> 1) >= self._budget:
+                lit = self._pool[self._rng.randrange(self._n_pis)]
+            out.append(lit)
+        return out
+
+
+def _mux_tree(g: AIG, sampler: _LevelBoundedSampler, rng: random.Random) -> list[int]:
+    depth = rng.randint(1, 3)
+    n_data = 1 << depth
+    data = sampler.take(n_data)
+    selectors = sampler.take(depth)
+    level = data
+    for s in selectors:
+        level = [
+            g.add_mux(s, level[2 * i + 1], level[2 * i])
+            for i in range(len(level) // 2)
+        ]
+    return level
+
+
+def _comparator(g: AIG, sampler: _LevelBoundedSampler, rng: random.Random) -> list[int]:
+    width = rng.randint(3, 6)
+    a = Word(g, sampler.take(width))
+    b = Word(g, sampler.take(width))
+    return [a.eq(b), a.ult(b)]
+
+
+def _parity_slice(g: AIG, sampler: _LevelBoundedSampler, rng: random.Random) -> list[int]:
+    width = rng.randint(4, 8)
+    return [Word(g, sampler.take(width)).reduce_xor()]
+
+
+def _decoder(g: AIG, sampler: _LevelBoundedSampler, rng: random.Random) -> list[int]:
+    width = rng.randint(2, 3)
+    select = sampler.take(width)
+    outs = []
+    for value in range(1 << width):
+        acc = 1
+        for i, bit in enumerate(select):
+            acc = g.add_and(acc, bit if value >> i & 1 else lit_not(bit))
+        outs.append(acc)
+    return outs
+
+
+def _alu_slice(g: AIG, sampler: _LevelBoundedSampler, rng: random.Random) -> list[int]:
+    width = rng.randint(2, 4)
+    a = Word(g, sampler.take(width))
+    b = Word(g, sampler.take(width))
+    total, carry = a.add_with_carry(b)
+    return total.bits + [carry]
+
+
+def _and_or_glue(g: AIG, sampler: _LevelBoundedSampler, rng: random.Random) -> list[int]:
+    terms = []
+    for _ in range(rng.randint(2, 4)):
+        a, b = sampler.take(2)
+        if rng.random() < 0.3:
+            # XORs keep signal densities balanced (see synthetic.py).
+            terms.append(g.add_xor(a, b))
+        else:
+            terms.append(g.add_and(a ^ rng.randint(0, 1), b ^ rng.randint(0, 1)))
+    acc = terms[0]
+    for t in terms[1:]:
+        acc = g.add_or(acc, t)
+    return [acc]

@@ -1,0 +1,78 @@
+"""Random AIG generation (test workloads and large synthetic circuits)."""
+
+from __future__ import annotations
+
+import random
+
+from ..aig.graph import AIG
+from ..aig.literal import lit_node
+from ..aig.strash import cleanup
+
+
+def random_aig(
+    n_pis: int,
+    n_ands: int,
+    n_pos: int,
+    seed: int = 0,
+    name: str = "random",
+    locality: int = 0,
+) -> AIG:
+    """Random strashed AIG.
+
+    ``locality`` > 0 biases operand choice toward recently created
+    signals, producing the deep, layered structure of synthetic EPFL
+    circuits; 0 samples uniformly (shallow and wide).
+    """
+    rng = random.Random(seed)
+    g = AIG(name)
+    lits = [g.add_pi() for _ in range(n_pis)]
+    guard = 0
+    while g.n_ands < n_ands and guard < 50 * n_ands:
+        guard += 1
+        if locality > 0 and len(lits) > locality:
+            window = lits[-locality:] + lits[: n_pis // 4 + 1]
+            a = rng.choice(window) ^ rng.randint(0, 1)
+            b = rng.choice(window) ^ rng.randint(0, 1)
+        else:
+            a = rng.choice(lits) ^ rng.randint(0, 1)
+            b = rng.choice(lits) ^ rng.randint(0, 1)
+        lit = g.add_and(a, b)
+        if lit > 1:
+            lits.append(lit)
+    candidates = sorted(
+        (lit for lit in lits if lit > 2 * n_pis),
+        key=lambda lit: g.n_refs(lit_node(lit)),
+    )
+    chosen = candidates[:n_pos] if candidates else lits[:n_pos]
+    while len(chosen) < n_pos:
+        chosen.append(rng.choice(lits))
+    for lit in chosen:
+        g.add_po(lit ^ rng.randint(0, 1))
+    cleanup(g)
+    return g
+
+
+def redundant_sop_block(
+    g: AIG,
+    inputs: list[int],
+    n_cubes: int,
+    rng: random.Random,
+) -> int:
+    """An unfactored OR-of-ANDs with a shared literal.
+
+    These blocks are deliberately what algebraic refactoring is good at
+    compressing — generators sprinkle them in to control the fraction of
+    refactorable nodes (the paper's ``Refactored`` column).
+    """
+    shared = rng.choice(inputs)
+    terms = []
+    for _ in range(n_cubes):
+        k = rng.randint(1, 3)
+        cube = shared
+        for _ in range(k):
+            cube = g.add_and(cube, rng.choice(inputs) ^ rng.randint(0, 1))
+        terms.append(cube)
+    acc = terms[0]
+    for term in terms[1:]:
+        acc = g.add_or(acc, term)
+    return acc

@@ -1,0 +1,19 @@
+"""Cut computation: reconvergence-driven cuts, k-feasible enumeration,
+and the ELF feature vectors collected during cut construction."""
+
+from .enumerate import cut_cone, enumerate_cuts, node_cuts
+from .features import FEATURE_NAMES, N_FEATURES, CutFeatures, stack_features
+from .reconv import DEFAULT_MAX_LEAVES, ReconvCut, reconv_cut
+
+__all__ = [
+    "CutFeatures",
+    "DEFAULT_MAX_LEAVES",
+    "FEATURE_NAMES",
+    "N_FEATURES",
+    "ReconvCut",
+    "cut_cone",
+    "enumerate_cuts",
+    "node_cuts",
+    "reconv_cut",
+    "stack_features",
+]

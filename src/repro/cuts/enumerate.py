@@ -1,0 +1,85 @@
+"""Bottom-up k-feasible cut enumeration (for the rewrite operator).
+
+Classic priority-cut scheme: the cut set of an AND node is the pairwise
+merge of its fanins' cut sets, filtered to at most ``k`` leaves,
+dominance-pruned and truncated to the ``max_cuts`` best (smallest) cuts.
+Every node also keeps its trivial cut ``{node}``.
+"""
+
+from __future__ import annotations
+
+from ..aig.graph import AIG
+from ..aig.literal import lit_node
+
+DEFAULT_K = 4
+DEFAULT_MAX_CUTS = 8
+
+
+def enumerate_cuts(
+    g: AIG,
+    k: int = DEFAULT_K,
+    max_cuts: int = DEFAULT_MAX_CUTS,
+) -> dict[int, list[frozenset[int]]]:
+    """Cut sets for every live node (PIs get only their trivial cut).
+
+    Returns ``{node: [cut, ...]}`` where each cut is a frozenset of leaf
+    node ids; the trivial cut is always last.
+    """
+    from ..aig.traversal import topological_order
+
+    cuts: dict[int, list[frozenset[int]]] = {0: [frozenset({0})]}
+    for pi in g.pis:
+        cuts[pi] = [frozenset({pi})]
+    for node in topological_order(g):
+        f0, f1 = g.fanin_lits(node)
+        merged = _merge(cuts[lit_node(f0)], cuts[lit_node(f1)], k, max_cuts)
+        merged.append(frozenset({node}))
+        cuts[node] = merged
+    return cuts
+
+
+def node_cuts(
+    g: AIG,
+    node: int,
+    all_cuts: dict[int, list[frozenset[int]]],
+) -> list[frozenset[int]]:
+    """Cuts of ``node`` excluding the trivial cut."""
+    return [c for c in all_cuts[node] if c != frozenset({node})]
+
+
+def _merge(
+    cuts0: list[frozenset[int]],
+    cuts1: list[frozenset[int]],
+    k: int,
+    max_cuts: int,
+) -> list[frozenset[int]]:
+    candidates: set[frozenset[int]] = set()
+    for c0 in cuts0:
+        for c1 in cuts1:
+            union = c0 | c1
+            if len(union) <= k:
+                candidates.add(union)
+    # Dominance pruning: drop any cut that is a superset of another.
+    ordered = sorted(candidates, key=len)
+    kept: list[frozenset[int]] = []
+    for cut in ordered:
+        if not any(other < cut for other in kept):
+            kept.append(cut)
+        if len(kept) >= max_cuts:
+            break
+    return kept
+
+
+def cut_cone(g: AIG, root: int, cut: frozenset[int]) -> list[int]:
+    """AND nodes between ``cut`` and ``root`` (root included), topological."""
+    cone: set[int] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node in cone or node in cut or not g.is_and(node):
+            continue
+        cone.add(node)
+        f0, f1 = g.fanin_lits(node)
+        stack.append(lit_node(f0))
+        stack.append(lit_node(f1))
+    return sorted(cone)

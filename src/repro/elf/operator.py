@@ -1,0 +1,126 @@
+"""ELF: the pruned refactor operator (Algorithm 2 of the paper).
+
+Batched mode (the paper's deployment):
+
+1. one sweep forms every node's cut and stacks the six features into a
+   single matrix;
+2. one fused matmul classifies all nodes at once;
+3. the refactor sweep then skips every node classified as
+   will-not-improve, resynthesizing only the survivors.
+
+Features from step 1 can go stale as commits mutate the graph; the paper
+notes (and we preserve) that this only costs runtime, never quality —
+stale survivors just fail resynthesis like they would have anyway.
+
+Streaming mode classifies each node on its own (batch of one) right
+before resynthesis; it exists for the batching-ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..aig.graph import AIG
+from ..aig.levels import RequiredLevels
+from ..cuts.features import stack_features
+from ..cuts.reconv import reconv_cut
+from ..opt.refactor import RefactorParams, RefactorStats, refactor_node
+from .classifier import ElfClassifier
+
+
+@dataclass
+class ElfParams:
+    """ELF knobs on top of the base refactor parameters."""
+
+    refactor: RefactorParams = field(default_factory=RefactorParams)
+    batched: bool = True
+
+
+def elf_refactor(
+    g: AIG,
+    classifier: ElfClassifier,
+    params: ElfParams | None = None,
+    collector=None,
+) -> RefactorStats:
+    """One ELF pass over ``g`` in place; returns stats incl. prune counts.
+
+    ``collector(features, committed)`` sees only non-pruned nodes (the
+    pruned ones never reach resynthesis, exactly as in Algorithm 2).
+    """
+    params = params or ElfParams()
+    stats = RefactorStats()
+    start = time.perf_counter()
+    required = RequiredLevels(g) if params.refactor.preserve_levels else None
+
+    nodes = g.and_ids()
+    cache: dict = {}
+    if params.batched:
+        keep = _batch_classify(g, nodes, classifier, params, stats)
+    else:
+        keep = None
+
+    for position, node in enumerate(nodes):
+        if g.is_dead(node):
+            continue
+        stats.nodes_visited += 1
+        if params.batched:
+            if not keep[position]:
+                stats.pruned += 1
+                continue
+            t0 = time.perf_counter()
+            cut = reconv_cut(
+                g, node, params.refactor.max_leaves, collect_features=False
+            )
+            stats.time_cut += time.perf_counter() - t0
+        else:
+            t0 = time.perf_counter()
+            cut = reconv_cut(
+                g, node, params.refactor.max_leaves, collect_features=True
+            )
+            stats.time_cut += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            keep_one = classifier.keep_mask(
+                cut.features.as_array()[None, :]
+            )[0]
+            stats.time_inference += time.perf_counter() - t0
+            if not keep_one:
+                stats.pruned += 1
+                continue
+        stats.cuts_formed += 1
+        committed = refactor_node(
+            g, node, cut, params.refactor, required, stats, cache
+        )
+        if collector is not None:
+            committed_features = cut.features
+            if committed_features is None:
+                cut_feats = reconv_cut(
+                    g, node, params.refactor.max_leaves, collect_features=True
+                )
+                committed_features = cut_feats.features
+            collector(committed_features, committed)
+    stats.time_total = time.perf_counter() - start
+    return stats
+
+
+def _batch_classify(
+    g: AIG,
+    nodes: list[int],
+    classifier: ElfClassifier,
+    params: ElfParams,
+    stats: RefactorStats,
+) -> np.ndarray:
+    """Pass 1 of Algorithm 2: collect every cut's features, classify once."""
+    t0 = time.perf_counter()
+    features = []
+    for node in nodes:
+        cut = reconv_cut(g, node, params.refactor.max_leaves, collect_features=True)
+        features.append(cut.features)
+    stats.time_cut += time.perf_counter() - t0
+    t0 = time.perf_counter()
+    matrix = stack_features(features)
+    keep = classifier.keep_mask(matrix)
+    stats.time_inference += time.perf_counter() - t0
+    return keep

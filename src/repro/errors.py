@@ -1,0 +1,33 @@
+"""Exception types shared across the repro library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class AigError(ReproError):
+    """Structural violation or misuse of an :class:`repro.aig.AIG`."""
+
+
+class AigerFormatError(ReproError):
+    """Malformed AIGER input."""
+
+
+class BenchFormatError(ReproError):
+    """Malformed BENCH input."""
+
+
+class TruthTableError(ReproError):
+    """Invalid truth-table operation (size mismatch, too many variables)."""
+
+
+class FactoringError(ReproError):
+    """Invalid SOP handed to the algebraic factoring engine."""
+
+
+class TrainingError(ReproError):
+    """ML training misconfiguration (shape mismatch, empty dataset)."""
+
+
+class SatError(ReproError):
+    """Malformed CNF or solver misuse."""

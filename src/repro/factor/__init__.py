@@ -1,0 +1,36 @@
+"""Algebraic factoring: division, kernels, GFACTOR, and tree-to-AIG
+materialization with strash-aware node counting."""
+
+from .divisor import (
+    divide_by_cube,
+    divide_by_literal,
+    kernels,
+    most_frequent_literal,
+    quick_divisor,
+    weak_div,
+)
+from .factoring import (
+    factor,
+    factored_literal_count,
+    good_factor,
+    verify_factoring,
+)
+from .to_aig import CountResult, build_tree, count_tree
+from .tree import FactorTree
+
+__all__ = [
+    "CountResult",
+    "FactorTree",
+    "build_tree",
+    "count_tree",
+    "divide_by_cube",
+    "divide_by_literal",
+    "factor",
+    "factored_literal_count",
+    "good_factor",
+    "kernels",
+    "most_frequent_literal",
+    "quick_divisor",
+    "verify_factoring",
+    "weak_div",
+]

@@ -1,0 +1,227 @@
+"""Evaluating and materializing factored forms inside an AIG.
+
+Two phases, mirroring ABC's refactoring engine:
+
+* :func:`count_tree` — a *dry run* that walks the factored form bottom-up,
+  probing the structural hash table: subfunctions that already exist in
+  the network (outside the MFFC being replaced, which is about to die)
+  are free; everything else costs one fresh AND node.  Counting aborts as
+  soon as the cost exceeds the allowed budget (``nodes saved``), exactly
+  like ``Dec_GraphToNetworkCount``.
+
+* :func:`build_tree` — actually creates the nodes.  Reuse is permissive
+  here (a reused MFFC node simply survives, cancelling one saved against
+  one added) with a single exception: if a lookup resolves to the *root
+  being replaced*, committing would create a combinational cycle, so the
+  build is aborted and partially created nodes are garbage collected.
+
+Both phases build balanced AND/OR trees (children combined
+cheapest-level-first) so committed logic stays shallow.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..aig.graph import AIG, _simplify_and
+from ..aig.literal import CONST0, CONST1, lit_node, make_lit
+from ..errors import FactoringError
+from .tree import KIND_AND, KIND_CONST0, KIND_CONST1, KIND_LIT, KIND_OR, FactorTree
+
+# Descriptors: ints. >= 0 is a real literal of the graph; < 0 encodes a
+# *virtual* (not yet created) node: virtual node k in phase c is -(2k+c+1).
+
+
+def _virtual_lit(index: int, compl: int) -> int:
+    return -(2 * index + compl + 1)
+
+
+def _virtual_index(descriptor: int) -> int:
+    return (-descriptor - 1) >> 1
+
+
+def _descriptor_not(descriptor: int) -> int:
+    if descriptor >= 0:
+        return descriptor ^ 1
+    return -((-descriptor - 1) ^ 1) - 1
+
+
+class _Exceeded(Exception):
+    """Internal: cost budget exceeded during the dry run."""
+
+
+@dataclass(frozen=True)
+class CountResult:
+    """Outcome of a dry-run evaluation."""
+
+    cost: int  # fresh AND nodes required
+    root_level: int  # level the new root would have
+    existing_lit: int | None  # set when the function already exists as a literal
+
+
+def count_tree(
+    g: AIG,
+    tree: FactorTree,
+    leaf_lits: list[int],
+    forbidden: set[int],
+    max_added: int,
+) -> CountResult | None:
+    """Dry-run cost of materializing ``tree`` on ``leaf_lits``.
+
+    ``forbidden`` nodes (the MFFC about to be deleted) are not reusable.
+    Returns None when more than ``max_added`` fresh nodes are needed.
+    """
+    walker = _TreeWalker(g, leaf_lits, forbidden, max_added)
+    try:
+        root = walker.eval(tree)
+    except _Exceeded:
+        return None
+    return CountResult(
+        cost=walker.cost,
+        root_level=walker.level(root),
+        existing_lit=root if root >= 0 else None,
+    )
+
+
+def build_tree(
+    g: AIG,
+    tree: FactorTree,
+    leaf_lits: list[int],
+    avoid_root: int,
+) -> int | None:
+    """Materialize ``tree``; returns the root literal.
+
+    Aborts (returning None, graph restored) if any structural-hash lookup
+    resolves to ``avoid_root`` — reusing the node being replaced would
+    create a cycle once its fanouts are patched.
+    """
+    nodes_before = g.n_nodes
+    builder = _TreeBuilder(g, leaf_lits, avoid_root)
+    try:
+        return builder.eval(tree)
+    except _Poisoned:
+        for node in range(g.n_nodes - 1, nodes_before - 1, -1):
+            if not g.is_dead(node) and g.is_and(node) and g.n_refs(node) == 0:
+                g._reap(node)
+        return None
+
+
+class _TreeWalker:
+    """Shared bottom-up traversal; this variant only counts."""
+
+    def __init__(
+        self,
+        g: AIG,
+        leaf_lits: list[int],
+        forbidden: set[int],
+        max_added: int,
+    ) -> None:
+        self.g = g
+        self.leaf_lits = leaf_lits
+        self.forbidden = forbidden
+        self.max_added = max_added
+        self.cost = 0
+        self._virtual_levels: list[int] = []
+        self._virtual_strash: dict[tuple[int, int], int] = {}
+
+    def level(self, descriptor: int) -> int:
+        if descriptor >= 0:
+            return self.g._level[descriptor >> 1]
+        return self._virtual_levels[_virtual_index(descriptor)]
+
+    def eval(self, tree: FactorTree) -> int:
+        if tree.kind == KIND_CONST0:
+            return CONST0
+        if tree.kind == KIND_CONST1:
+            return CONST1
+        if tree.kind == KIND_LIT:
+            if tree.var >= len(self.leaf_lits):
+                raise FactoringError(
+                    f"tree variable {tree.var} exceeds {len(self.leaf_lits)} leaves"
+                )
+            lit = self.leaf_lits[tree.var]
+            return _descriptor_not(lit) if tree.negative else lit
+        descriptors = [self.eval(child) for child in tree.children]
+        if tree.kind == KIND_AND:
+            return self._balanced(descriptors, invert=False)
+        if tree.kind == KIND_OR:
+            return self._balanced(
+                [_descriptor_not(d) for d in descriptors], invert=True
+            )
+        raise FactoringError(f"unknown tree kind {tree.kind!r}")  # pragma: no cover
+
+    def _balanced(self, descriptors: list[int], invert: bool) -> int:
+        """AND the descriptors pairwise, cheapest levels first."""
+        heap = [(self.level(d), i, d) for i, d in enumerate(descriptors)]
+        heapq.heapify(heap)
+        tiebreak = len(heap)
+        while len(heap) > 1:
+            _l0, _i0, a = heapq.heappop(heap)
+            _l1, _i1, b = heapq.heappop(heap)
+            combined = self._and(a, b)
+            heapq.heappush(heap, (self.level(combined), tiebreak, combined))
+            tiebreak += 1
+        result = heap[0][2]
+        return _descriptor_not(result) if invert else result
+
+    def _and(self, a: int, b: int) -> int:
+        if a >= 0 and b >= 0:
+            simplified = _simplify_and(a, b)
+            if simplified is not None:
+                return simplified
+            key = (a, b) if a < b else (b, a)
+            hit = self.g._strash.get(key)
+            if hit is not None and hit not in self.forbidden:
+                return self._reuse(hit)
+        else:
+            if a == b:
+                return a
+            if a == _descriptor_not(b):
+                return CONST0
+            if CONST0 in (a, b):
+                return CONST0
+            if a == CONST1:
+                return b
+            if b == CONST1:
+                return a
+        key = (a, b) if a < b else (b, a)
+        cached = self._virtual_strash.get(key)
+        if cached is not None:
+            return cached
+        return self._fresh(a, b, key)
+
+    def _reuse(self, node: int) -> int:
+        return make_lit(node)
+
+    def _fresh(self, a: int, b: int, key: tuple[int, int]) -> int:
+        self.cost += 1
+        if self.cost > self.max_added:
+            raise _Exceeded()
+        level = 1 + max(self.level(a), self.level(b))
+        index = len(self._virtual_levels)
+        self._virtual_levels.append(level)
+        descriptor = _virtual_lit(index, 0)
+        self._virtual_strash[key] = descriptor
+        return descriptor
+
+
+class _Poisoned(Exception):
+    """Internal: the build tried to reuse the node being replaced."""
+
+
+class _TreeBuilder(_TreeWalker):
+    """Traversal variant that creates real nodes."""
+
+    def __init__(self, g: AIG, leaf_lits: list[int], avoid_root: int) -> None:
+        super().__init__(g, leaf_lits, forbidden=set(), max_added=1 << 30)
+        self.avoid_root = avoid_root
+
+    def _and(self, a: int, b: int) -> int:
+        hit = self.g.lookup_and(a, b)
+        if hit is not None and lit_node(hit) == self.avoid_root:
+            raise _Poisoned()
+        lit = self.g.add_and(a, b)
+        if lit_node(lit) == self.avoid_root:  # pragma: no cover - guarded above
+            raise _Poisoned()
+        return lit

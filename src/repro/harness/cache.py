@@ -1,0 +1,52 @@
+"""On-disk caching for expensive experiment artifacts.
+
+Benchmark tables share work: six leave-one-out classifiers, sixteen
+harvested datasets, etc.  This cache keys artifacts by name and stores
+them under ``.repro_cache/`` (override with ``REPRO_CACHE_DIR``), so one
+benchmark run trains everything and the rest reuse it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..elf.classifier import ElfClassifier
+from ..ml.dataset import CutDataset
+
+
+def cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR", "")
+    # parents: [0]=harness, [1]=repro, [2]=src, [3]=repository root
+    path = Path(root) if root else Path(__file__).resolve().parents[3] / ".repro_cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def cached_dataset(key: str, build) -> CutDataset:
+    """Load dataset ``key`` or build and persist it."""
+    path = cache_dir() / f"dataset_{key}.npz"
+    if path.exists():
+        return CutDataset.load(path)
+    dataset = build()
+    dataset.save(path)
+    return dataset
+
+
+def cached_classifier(key: str, build) -> ElfClassifier:
+    """Load classifier ``key`` or train and persist it."""
+    path = cache_dir() / f"classifier_{key}.npz"
+    if path.exists():
+        return ElfClassifier.load(path)
+    classifier = build()
+    classifier.save(path)
+    return classifier
+
+
+def clear_cache() -> int:
+    """Delete all cached artifacts; returns the number of files removed."""
+    removed = 0
+    for path in cache_dir().glob("*.npz"):
+        path.unlink()
+        removed += 1
+    return removed

@@ -1,0 +1,199 @@
+"""Experiment drivers for every table and figure in the paper.
+
+Each function produces the data behind one artifact of the evaluation
+(SS IV); the files under ``benchmarks/`` call these, time the interesting
+part, and render paper-vs-measured tables.  Heavy shared artifacts
+(datasets, leave-one-out classifiers) go through the on-disk cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..aig.graph import AIG
+from ..elf.classifier import ElfClassifier
+from ..elf.pipeline import (
+    ComparisonRow,
+    collect_dataset,
+    compare,
+    evaluate_classifier,
+    train_leave_one_out,
+)
+from ..elf.operator import ElfParams
+from ..ml.dataset import CutDataset
+from ..ml.metrics import Confusion
+from ..ml.train import TrainConfig
+from ..opt.refactor import RefactorParams, refactor
+from .cache import cached_classifier, cached_dataset
+
+DEFAULT_TRAIN_CONFIG = TrainConfig(epochs=30, patience=10, seed=0)
+TARGET_RECALL = 0.98
+
+
+@dataclass
+class StatsRow:
+    """One row of Table I/II: design statistics + refactorability."""
+
+    design: str
+    n_ands: int
+    level: int
+    n_pis: int
+    n_pos: int
+    refactored: int
+    refactored_pct: float
+
+
+def suite_statistics(suite: dict[str, AIG]) -> list[StatsRow]:
+    """Tables I/II: run baseline refactor to count refactorable nodes."""
+    rows = []
+    for name, g in suite.items():
+        stats = refactor(g.clone())
+        rows.append(
+            StatsRow(
+                design=name,
+                n_ands=g.n_ands,
+                level=g.max_level(),
+                n_pis=g.n_pis,
+                n_pos=g.n_pos,
+                refactored=stats.commits,
+                refactored_pct=100.0 * stats.commits / max(1, stats.nodes_visited),
+            )
+        )
+    return rows
+
+
+def suite_datasets(suite: dict[str, AIG], tag: str) -> dict[str, CutDataset]:
+    """Collect (cached) per-circuit feature/label datasets."""
+    return {
+        name: cached_dataset(f"{tag}_{name}", lambda g=g, n=name: collect_dataset(g, name=n))
+        for name, g in suite.items()
+    }
+
+
+def loo_classifiers(
+    datasets: dict[str, CutDataset],
+    tag: str,
+    config: TrainConfig | None = None,
+    target_recall: float = TARGET_RECALL,
+) -> dict[str, ElfClassifier]:
+    """One leave-one-out classifier per test design (cached)."""
+    config = config or DEFAULT_TRAIN_CONFIG
+    return {
+        name: cached_classifier(
+            f"{tag}_loo_{name}",
+            lambda n=name: train_leave_one_out(datasets, n, config, target_recall),
+        )
+        for name in datasets
+    }
+
+
+def global_classifier(
+    datasets: dict[str, CutDataset],
+    tag: str,
+    config: TrainConfig | None = None,
+    target_recall: float = TARGET_RECALL,
+) -> ElfClassifier:
+    """Classifier trained on *all* given datasets (used for Table VI,
+    where the test circuits contribute no training data at all)."""
+    config = config or DEFAULT_TRAIN_CONFIG
+    from ..elf.classifier import ElfClassifier as _Elf
+    from ..ml.train import train_classifier
+
+    def build():
+        nonempty = [d for d in datasets.values() if len(d) > 0]
+        standardized = [d.standardized()[0] for d in nonempty]
+        merged = CutDataset.concatenate(standardized, "all")
+        result = train_classifier(merged, config)
+        return _Elf.from_training(
+            result,
+            target_recall,
+            calibration=[d.x for d in nonempty],
+            calibration_labels=[d.y for d in nonempty],
+        )
+
+    return cached_classifier(f"{tag}_global", build)
+
+
+def comparison_rows(
+    suite: dict[str, AIG],
+    classifiers: dict[str, ElfClassifier],
+    elf_applications: int = 1,
+    params: ElfParams | None = None,
+) -> list[ComparisonRow]:
+    """Tables III/IV/V: baseline refactor vs ELF per design."""
+    rows = []
+    for name, g in suite.items():
+        rows.append(
+            compare(g, classifiers[name], params, elf_applications=elf_applications)
+        )
+    return rows
+
+
+def model_quality(
+    datasets: dict[str, CutDataset],
+    classifiers: dict[str, ElfClassifier],
+) -> dict[str, Confusion]:
+    """Tables VII/VIII: per-design confusion counts on unseen circuits."""
+    return {
+        name: evaluate_classifier(datasets[name], classifiers[name])
+        for name in datasets
+    }
+
+
+@dataclass
+class RedundancyRow:
+    """Figure 1's quantities for one design."""
+
+    design: str
+    fail_pct: float  # cuts that fail resynthesis (original refactor)
+    elf_prune_pct: float  # nodes ELF omits
+    commit_pct: float
+
+
+def redundancy_rows(
+    suite: dict[str, AIG],
+    classifiers: dict[str, ElfClassifier],
+) -> list[RedundancyRow]:
+    """Figure 1: how much work the original flow wastes, how much ELF prunes."""
+    from ..elf.operator import elf_refactor
+
+    rows = []
+    for name, g in suite.items():
+        base = refactor(g.clone())
+        elf_stats = elf_refactor(g.clone(), classifiers[name])
+        visited = max(1, elf_stats.nodes_visited)
+        rows.append(
+            RedundancyRow(
+                design=name,
+                fail_pct=100.0 * base.failure_rate,
+                elf_prune_pct=100.0 * elf_stats.pruned / visited,
+                commit_pct=100.0 * base.commits / max(1, base.cuts_formed),
+            )
+        )
+    return rows
+
+
+def feature_matrix(
+    datasets: dict[str, CutDataset],
+    max_per_design: int = 400,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Balanced-ish sample of features/labels across designs (Fig. 3)."""
+    rng = np.random.default_rng(seed)
+    xs, ys = [], []
+    for ds in datasets.values():
+        n = len(ds)
+        if n == 0:
+            continue
+        take = min(n, max_per_design)
+        # Keep all positives (they are rare), sample the negatives.
+        positives = np.flatnonzero(ds.y > 0.5)
+        negatives = np.flatnonzero(ds.y <= 0.5)
+        n_neg = max(0, take - positives.size)
+        chosen_neg = rng.choice(negatives, size=min(n_neg, negatives.size), replace=False)
+        index = np.concatenate([positives, chosen_neg])
+        xs.append(ds.x[index])
+        ys.append(ds.y[index])
+    return np.concatenate(xs), np.concatenate(ys)

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list],
+    title: str | None = None,
+) -> str:
+    """Monospace table with auto-sized columns."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_report(name: str, content: str) -> Path:
+    """Store a table under ``benchmarks/results/`` and return the path."""
+    results = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    results.mkdir(parents=True, exist_ok=True)
+    path = results / f"{name}.txt"
+    path.write_text(content + "\n", encoding="utf-8")
+    return path
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0.00"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.3f}" if abs(value) < 1 else f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}" if abs(value) >= 10000 else str(value)
+    return str(value)

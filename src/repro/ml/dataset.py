@@ -1,0 +1,127 @@
+"""Cut-feature datasets: collection, standardization, persistence.
+
+A :class:`CutDataset` is the per-circuit table of 6-d feature vectors and
+refactor-success labels, harvested by running the baseline operator with
+a collector.  Datasets standardize with their own mean/variance (the
+paper standardizes each dataset individually) and concatenate across
+circuits for leave-one-out training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..cuts.features import N_FEATURES, CutFeatures
+from ..errors import TrainingError
+
+
+@dataclass
+class CutDataset:
+    """Features ``(n, 6)`` and binary labels ``(n,)`` for one circuit."""
+
+    x: np.ndarray
+    y: np.ndarray
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.float64)
+        if self.x.ndim != 2 or self.x.shape[1] != N_FEATURES:
+            raise TrainingError(f"features must be (n, {N_FEATURES})")
+        if self.y.shape != (self.x.shape[0],):
+            raise TrainingError("label count mismatch")
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def n_positive(self) -> int:
+        return int((self.y > 0.5).sum())
+
+    @property
+    def imbalance(self) -> float:
+        """Fraction of positive (refactorable) samples."""
+        return 0.0 if len(self) == 0 else self.n_positive / len(self)
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def collector() -> "DatasetCollector":
+        return DatasetCollector()
+
+    @staticmethod
+    def concatenate(datasets: list["CutDataset"], name: str = "merged") -> "CutDataset":
+        if not datasets:
+            raise TrainingError("cannot concatenate zero datasets")
+        return CutDataset(
+            np.concatenate([d.x for d in datasets]),
+            np.concatenate([d.y for d in datasets]),
+            name,
+        )
+
+    # -- standardization ---------------------------------------------------
+
+    def standardization(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-feature mean and std (std floored to avoid division by 0)."""
+        if len(self) == 0:
+            raise TrainingError("empty dataset has no statistics")
+        mean = self.x.mean(axis=0)
+        std = self.x.std(axis=0)
+        std[std < 1e-9] = 1.0
+        return mean, std
+
+    def standardized(self) -> tuple["CutDataset", np.ndarray, np.ndarray]:
+        mean, std = self.standardization()
+        return CutDataset((self.x - mean) / std, self.y, self.name), mean, std
+
+    # -- splitting ---------------------------------------------------------
+
+    def split(self, fraction: float = 0.9, seed: int = 0) -> tuple["CutDataset", "CutDataset"]:
+        """Shuffled (train, validation) split."""
+        if not 0.0 < fraction < 1.0:
+            raise TrainingError("fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(len(self))
+        cutoff = max(1, int(len(self) * fraction))
+        return (
+            CutDataset(self.x[perm[:cutoff]], self.y[perm[:cutoff]], self.name),
+            CutDataset(self.x[perm[cutoff:]], self.y[perm[cutoff:]], self.name),
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        np.savez_compressed(path, x=self.x, y=self.y, name=np.array(self.name))
+
+    @staticmethod
+    def load(path: str | Path) -> "CutDataset":
+        data = np.load(path, allow_pickle=False)
+        return CutDataset(data["x"], data["y"], str(data["name"]))
+
+
+class DatasetCollector:
+    """Callable collector plugged into :func:`repro.opt.refactor`."""
+
+    def __init__(self) -> None:
+        self._features: list[tuple] = []
+        self._labels: list[float] = []
+
+    def __call__(self, features: CutFeatures, committed: bool) -> None:
+        if features is None:
+            raise TrainingError("refactor must run with feature collection on")
+        self._features.append(features.as_tuple())
+        self._labels.append(1.0 if committed else 0.0)
+
+    def dataset(self, name: str = "collected") -> CutDataset:
+        if not self._features:
+            return CutDataset(
+                np.zeros((0, N_FEATURES)), np.zeros(0), name
+            )
+        return CutDataset(
+            np.array(self._features, dtype=np.float64),
+            np.array(self._labels, dtype=np.float64),
+            name,
+        )

@@ -1,0 +1,87 @@
+"""A minimal graph convolutional network over cut subgraphs.
+
+The paper rejects GCNs for this task because per-cut inference costs
+roughly 30x the resynthesis it would save (SS III-B).  This module exists
+to *reproduce that comparison*: it builds the normalized-adjacency
+message-passing forward pass for one cut's cone and the benchmark
+harness times it against the batched MLP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..aig.graph import AIG
+from ..aig.literal import lit_node
+from ..cuts.reconv import ReconvCut
+from ..errors import TrainingError
+
+
+class CutGCN:
+    """Two-layer GCN with mean pooling and a sigmoid head."""
+
+    def __init__(self, n_features: int = 4, hidden: int = 16, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        bound1 = float(np.sqrt(6.0 / (n_features + hidden)))
+        bound2 = float(np.sqrt(6.0 / (hidden + hidden)))
+        self.w1 = rng.uniform(-bound1, bound1, size=(n_features, hidden))
+        self.w2 = rng.uniform(-bound2, bound2, size=(hidden, hidden))
+        self.w_out = rng.uniform(-1.0, 1.0, size=(hidden,))
+        self.n_features = n_features
+
+    @property
+    def n_parameters(self) -> int:
+        return self.w1.size + self.w2.size + self.w_out.size
+
+    def forward(self, adjacency: np.ndarray, features: np.ndarray) -> float:
+        """Probability for one cut graph.
+
+        ``adjacency`` is the (symmetric, unnormalized) n x n matrix;
+        ``features`` is n x n_features.
+        """
+        if adjacency.shape[0] != features.shape[0]:
+            raise TrainingError("adjacency/features size mismatch")
+        a_hat = _normalize_adjacency(adjacency)
+        h = np.maximum(a_hat @ features @ self.w1, 0.0)
+        h = np.maximum(a_hat @ h @ self.w2, 0.0)
+        pooled = h.mean(axis=0)
+        z = float(pooled @ self.w_out)
+        return 1.0 / (1.0 + np.exp(-z)) if z >= 0 else float(
+            np.exp(z) / (1.0 + np.exp(z))
+        )
+
+
+def cut_graph_tensors(g: AIG, cut: ReconvCut) -> tuple[np.ndarray, np.ndarray]:
+    """Adjacency and per-node features for a cut's cone + leaves.
+
+    Node features: [is_leaf, is_root, level, fanout] — the structural
+    information a GCN would have to learn to aggregate on its own.
+    """
+    nodes = sorted(cut.interior) + list(cut.leaves)
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    adjacency = np.zeros((n, n), dtype=np.float64)
+    features = np.zeros((n, 4), dtype=np.float64)
+    leaf_set = set(cut.leaves)
+    for node in nodes:
+        i = index[node]
+        features[i, 0] = 1.0 if node in leaf_set else 0.0
+        features[i, 1] = 1.0 if node == cut.root else 0.0
+        features[i, 2] = g.level(node)
+        features[i, 3] = g.n_fanouts(node)
+        if node in cut.interior:
+            for fl in g.fanin_lits(node):
+                fanin = lit_node(fl)
+                if fanin in index:
+                    j = index[fanin]
+                    adjacency[i, j] = 1.0
+                    adjacency[j, i] = 1.0
+    return adjacency, features
+
+
+def _normalize_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """Kipf-Welling normalization: D^-1/2 (A + I) D^-1/2."""
+    a = adjacency + np.eye(adjacency.shape[0])
+    degree = a.sum(axis=1)
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-9))
+    return a * inv_sqrt[:, None] * inv_sqrt[None, :]

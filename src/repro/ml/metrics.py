@@ -1,0 +1,98 @@
+"""Classifier quality metrics, matching the paper's definitions.
+
+``Recall = TP / (TP + FN)`` — fraction of truly refactorable cuts the
+model keeps (drives area quality).  ``Accuracy = (TP + TN) / all`` —
+drives runtime, since accurately pruned negatives are skipped work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TrainingError
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """Confusion counts in the paper's Table VII/VIII layout."""
+
+    tp: int
+    tn: int
+    fp: int
+    fn: int
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.tn + self.fp + self.fn
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return 1.0 if denom == 0 else self.tp / denom
+
+    @property
+    def accuracy(self) -> float:
+        return 0.0 if self.total == 0 else (self.tp + self.tn) / self.total
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return 1.0 if denom == 0 else self.tp / denom
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 0.0 if p + r == 0 else 2 * p * r / (p + r)
+
+    @property
+    def prune_fraction(self) -> float:
+        """Fraction of all nodes the classifier prunes (predicted 0)."""
+        return 0.0 if self.total == 0 else (self.tn + self.fn) / self.total
+
+    def row(self) -> tuple[float, float, int, int, int, int]:
+        return (self.recall, self.accuracy, self.tp, self.tn, self.fp, self.fn)
+
+
+def confusion(y_true: np.ndarray, y_pred: np.ndarray) -> Confusion:
+    """Confusion counts from boolean/0-1 arrays."""
+    y_true = np.asarray(y_true).astype(bool)
+    y_pred = np.asarray(y_pred).astype(bool)
+    if y_true.shape != y_pred.shape:
+        raise TrainingError("prediction/label shape mismatch")
+    return Confusion(
+        tp=int((y_true & y_pred).sum()),
+        tn=int((~y_true & ~y_pred).sum()),
+        fp=int((~y_true & y_pred).sum()),
+        fn=int((y_true & ~y_pred).sum()),
+    )
+
+
+def threshold_for_recall(
+    probs: np.ndarray,
+    labels: np.ndarray,
+    target_recall: float = 0.95,
+) -> float:
+    """Largest threshold whose recall on (probs, labels) meets the target.
+
+    The paper's classifier is recall-driven: the operating point is chosen
+    to keep recall high (protecting area) while pruning as much as
+    possible (maximizing accuracy/runtime).  With no positive labels the
+    default 0.5 is returned.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    if probs.shape != labels.shape:
+        raise TrainingError("probs/labels shape mismatch")
+    positive_probs = np.sort(probs[labels])
+    if positive_probs.size == 0:
+        return 0.5
+    # Keeping all probs >= t classifies ceil(recall * n_pos) positives
+    # correctly when t sits just below the right quantile.
+    n_pos = positive_probs.size
+    max_missed = int(np.floor((1.0 - target_recall) * n_pos + 1e-9))
+    index = min(max_missed, n_pos - 1)
+    threshold = float(positive_probs[index])
+    # Nudge below the chosen positive so >= keeps it.
+    return max(0.0, threshold - 1e-12)

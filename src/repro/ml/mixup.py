@@ -1,0 +1,34 @@
+"""MixUp data augmentation (Zhang et al., the paper's augmentation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TrainingError
+
+
+def mixup_batch(
+    x: np.ndarray,
+    y: np.ndarray,
+    alpha: float = 0.2,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convex-combine a batch with a shuffled copy of itself.
+
+    ``lam ~ Beta(alpha, alpha)`` per batch; labels become soft targets.
+    ``alpha <= 0`` disables mixing (identity).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape[0] != y.shape[0]:
+        raise TrainingError("x/y batch size mismatch")
+    if alpha <= 0 or x.shape[0] < 2:
+        return x, y
+    rng = rng or np.random.default_rng()
+    lam = float(rng.beta(alpha, alpha))
+    # Symmetry: keep the larger share on the original sample.
+    lam = max(lam, 1.0 - lam)
+    perm = rng.permutation(x.shape[0])
+    x_mixed = lam * x + (1 - lam) * x[perm]
+    y_mixed = lam * y + (1 - lam) * y[perm]
+    return x_mixed, y_mixed

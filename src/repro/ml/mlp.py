@@ -1,0 +1,149 @@
+"""A small feedforward network in pure NumPy.
+
+The paper's classifier: 4 fully connected layers shaped
+``6 -> 12 -> 12 -> 6 -> 1`` (325 parameters), ReLU hidden activations,
+sigmoid output, Xavier-initialized weights with zero biases.  Training
+(backprop) and the deployment trick — folding the mean-variance
+normalization into the first layer so batched inference is a handful of
+matmuls — both live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TrainingError
+
+PAPER_LAYERS = (6, 12, 12, 6, 1)
+
+
+class MLP:
+    """Feedforward ReLU network with a single sigmoid output."""
+
+    def __init__(
+        self,
+        layer_sizes: tuple[int, ...] = PAPER_LAYERS,
+        seed: int = 0,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise TrainingError("need at least input and output layer sizes")
+        if layer_sizes[-1] != 1:
+            raise TrainingError("the ELF classifier has a single output unit")
+        self.layer_sizes = tuple(layer_sizes)
+        rng = np.random.default_rng(seed)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for n_in, n_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            # Xavier/Glorot uniform, biases zero (paper SS IV-A).
+            bound = float(np.sqrt(6.0 / (n_in + n_out)))
+            self.weights.append(rng.uniform(-bound, bound, size=(n_in, n_out)))
+            self.biases.append(np.zeros(n_out))
+
+    @property
+    def n_parameters(self) -> int:
+        return sum(w.size for w in self.weights) + sum(b.size for b in self.biases)
+
+    # -- inference ---------------------------------------------------------
+
+    def forward_logits(self, x: np.ndarray) -> np.ndarray:
+        """Logits for a batch ``(n, d_in)``; returns shape ``(n,)``."""
+        h = np.asarray(x, dtype=np.float64)
+        if h.ndim != 2 or h.shape[1] != self.layer_sizes[0]:
+            raise TrainingError(
+                f"expected (n, {self.layer_sizes[0]}) input, got {h.shape}"
+            )
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            h = h @ w + b
+            if i != last:
+                np.maximum(h, 0.0, out=h)
+        return h[:, 0]
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Sigmoid probabilities for a batch."""
+        return _sigmoid(self.forward_logits(x))
+
+    # -- training support ----------------------------------------------------
+
+    def forward_cached(self, x: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        """Forward pass retaining pre-activation inputs for backprop.
+
+        Returns ``(layer_inputs, logits)`` where ``layer_inputs[i]`` is the
+        input fed to layer ``i``.
+        """
+        h = np.asarray(x, dtype=np.float64)
+        inputs = []
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            inputs.append(h)
+            h = h @ w + b
+            if i != last:
+                h = np.maximum(h, 0.0)
+        return inputs, h[:, 0]
+
+    def backprop(
+        self,
+        layer_inputs: list[np.ndarray],
+        dlogits: np.ndarray,
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Gradients of all weights/biases given dLoss/dLogits."""
+        grad_w: list[np.ndarray] = [np.empty(0)] * len(self.weights)
+        grad_b: list[np.ndarray] = [np.empty(0)] * len(self.biases)
+        delta = dlogits[:, None]  # (n, 1)
+        for i in range(len(self.weights) - 1, -1, -1):
+            x_in = layer_inputs[i]
+            grad_w[i] = x_in.T @ delta
+            grad_b[i] = delta.sum(axis=0)
+            if i > 0:
+                delta = delta @ self.weights[i].T
+                # ReLU derivative: the layer-(i) input is the ReLU output
+                # of layer i-1, so its positive entries mark active units.
+                delta = delta * (x_in > 0.0)
+        return grad_w, grad_b
+
+    # -- parameter plumbing ---------------------------------------------------
+
+    def get_parameters(self) -> list[np.ndarray]:
+        return [a for pair in zip(self.weights, self.biases) for a in pair]
+
+    def set_parameters(self, params: list[np.ndarray]) -> None:
+        if len(params) != 2 * len(self.weights):
+            raise TrainingError("parameter list length mismatch")
+        for i in range(len(self.weights)):
+            self.weights[i] = params[2 * i]
+            self.biases[i] = params[2 * i + 1]
+
+    def copy(self) -> "MLP":
+        dup = MLP(self.layer_sizes)
+        dup.weights = [w.copy() for w in self.weights]
+        dup.biases = [b.copy() for b in self.biases]
+        return dup
+
+    # -- deployment ---------------------------------------------------------
+
+    def fuse_normalization(self, mean: np.ndarray, std: np.ndarray) -> "MLP":
+        """Fold ``(x - mean) / std`` into the first layer.
+
+        Returns a network with identical outputs on *raw* features — the
+        paper's merged Mean-Variance-Normalization node, which removes the
+        per-batch normalization pass at inference time.
+        """
+        mean = np.asarray(mean, dtype=np.float64)
+        std = np.asarray(std, dtype=np.float64)
+        if mean.shape != (self.layer_sizes[0],) or std.shape != mean.shape:
+            raise TrainingError("normalization stats shape mismatch")
+        if np.any(std <= 0):
+            raise TrainingError("std must be strictly positive")
+        fused = self.copy()
+        fused.weights[0] = self.weights[0] / std[:, None]
+        fused.biases[0] = self.biases[0] - (mean / std) @ self.weights[0]
+        return fused
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    ez = np.exp(z[~positive])
+    out[~positive] = ez / (1.0 + ez)
+    return out

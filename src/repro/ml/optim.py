@@ -1,0 +1,63 @@
+"""First-order optimizers over lists of parameter arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TrainingError
+
+
+class Adam:
+    """Adam (Kingma & Ba) with the standard bias correction."""
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        lr: float = 0.1,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        self.params = params
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        if len(grads) != len(self.params):
+            raise TrainingError("gradient list length mismatch")
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bc1 = 1 - b1**self._t
+        bc2 = 1 - b2**self._t
+        for p, g, m, v in zip(self.params, grads, self._m, self._v):
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class SGD:
+    """Plain SGD with optional momentum (ablation baseline)."""
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+    ) -> None:
+        self.params = params
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in params]
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        if len(grads) != len(self.params):
+            raise TrainingError("gradient list length mismatch")
+        for p, g, v in zip(self.params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v

@@ -1,0 +1,44 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import TrainingError
+
+
+class CosineAnnealingWarmRestarts:
+    """SGDR schedule (Loshchilov & Hutter), the paper's LR scheduler.
+
+    The learning rate decays from ``lr_max`` to ``lr_min`` along a cosine
+    within each cycle; cycle ``k`` lasts ``t0 * t_mult**k`` epochs and the
+    rate jumps back to ``lr_max`` at every restart.
+    """
+
+    def __init__(
+        self,
+        lr_max: float,
+        t0: int = 10,
+        t_mult: int = 1,
+        lr_min: float = 0.0,
+    ) -> None:
+        if t0 < 1 or t_mult < 1:
+            raise TrainingError("t0 and t_mult must be >= 1")
+        self.lr_max = lr_max
+        self.lr_min = lr_min
+        self.t0 = t0
+        self.t_mult = t_mult
+
+    def lr_at(self, epoch: float) -> float:
+        """Learning rate at a (possibly fractional) epoch index."""
+        if epoch < 0:
+            raise TrainingError("epoch must be non-negative")
+        cycle_len = self.t0
+        t = epoch
+        while t >= cycle_len:
+            t -= cycle_len
+            cycle_len *= self.t_mult
+        fraction = t / cycle_len
+        return self.lr_min + 0.5 * (self.lr_max - self.lr_min) * (
+            1 + math.cos(math.pi * fraction)
+        )

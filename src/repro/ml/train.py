@@ -1,0 +1,139 @@
+"""The training loop, mirroring the paper's recipe (SS IV-A).
+
+Batch size 64, up to 30 epochs with early stopping (patience 10), Adam at
+lr 0.1 under cosine annealing with warm restarts, BCE loss, MixUp
+augmentation, and a weighted random sampler against the ~1%-positive
+class imbalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import TrainingError
+from .dataset import CutDataset
+from .losses import bce_with_logits, class_balanced_weights, focal_loss_with_logits
+from .mixup import mixup_batch
+from .mlp import PAPER_LAYERS, MLP
+from .optim import Adam
+from .sampler import WeightedRandomSampler
+from .schedule import CosineAnnealingWarmRestarts
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters; defaults are the paper's."""
+
+    layer_sizes: tuple[int, ...] = PAPER_LAYERS
+    batch_size: int = 64
+    epochs: int = 30
+    patience: int = 10
+    lr: float = 0.1
+    restart_period: int = 10
+    mixup_alpha: float = 0.2
+    loss: str = "bce"  # "bce" | "focal" | "class_balanced"
+    seed: int = 0
+    max_batches_per_epoch: int = 400  # caps epoch cost on huge datasets
+    validation_fraction: float = 0.1
+
+
+@dataclass
+class TrainResult:
+    """Trained network plus its normalization stats and history."""
+
+    model: MLP
+    mean: np.ndarray
+    std: np.ndarray
+    history: list[dict] = field(default_factory=list)
+    best_epoch: int = -1
+
+    def fused_model(self) -> MLP:
+        """Model with normalization folded in (runs on raw features)."""
+        return self.model.fuse_normalization(self.mean, self.std)
+
+
+def train_classifier(dataset: CutDataset, config: TrainConfig | None = None) -> TrainResult:
+    """Train the ELF classifier on a (raw-feature) dataset."""
+    config = config or TrainConfig()
+    if len(dataset) < 4:
+        raise TrainingError("dataset too small to train on")
+    mean, std = dataset.standardization()
+    x_all = (dataset.x - mean) / std
+    y_all = dataset.y
+
+    rng = np.random.default_rng(config.seed)
+    perm = rng.permutation(len(dataset))
+    n_val = max(1, int(len(dataset) * config.validation_fraction))
+    val_idx, train_idx = perm[:n_val], perm[n_val:]
+    x_train, y_train = x_all[train_idx], y_all[train_idx]
+    x_val, y_val = x_all[val_idx], y_all[val_idx]
+
+    model = MLP(config.layer_sizes, seed=config.seed)
+    params = model.get_parameters()
+    optimizer = Adam(params, lr=config.lr)
+    schedule = CosineAnnealingWarmRestarts(config.lr, t0=config.restart_period)
+    sampler = WeightedRandomSampler(y_train, config.batch_size, seed=config.seed)
+    cb_weights = (
+        class_balanced_weights(y_train) if config.loss == "class_balanced" else None
+    )
+
+    best_val = float("inf")
+    best_params = [p.copy() for p in params]
+    best_epoch = -1
+    bad_epochs = 0
+    history: list[dict] = []
+    for epoch in range(config.epochs):
+        optimizer.lr = schedule.lr_at(epoch)
+        epoch_loss, n_batches = 0.0, 0
+        for batch_idx in sampler.epoch():
+            if n_batches >= config.max_batches_per_epoch:
+                break
+            xb, yb = x_train[batch_idx], y_train[batch_idx]
+            xb, yb = mixup_batch(xb, yb, config.mixup_alpha, rng)
+            inputs, logits = model.forward_cached(xb)
+            if config.loss == "focal":
+                loss, dlogits = focal_loss_with_logits(logits, yb)
+            elif config.loss == "class_balanced":
+                loss, dlogits = bce_with_logits(logits, yb, cb_weights[batch_idx])
+            else:
+                loss, dlogits = bce_with_logits(logits, yb)
+            grad_w, grad_b = model.backprop(inputs, dlogits)
+            grads = [a for pair in zip(grad_w, grad_b) for a in pair]
+            optimizer.step(grads)
+            epoch_loss += loss
+            n_batches += 1
+        val_logits = model.forward_logits(x_val)
+        # Validation uses balanced BCE so the 99%-negative majority cannot
+        # mask the recall-critical positive loss.
+        pos_weight = _balanced_weights(y_val)
+        val_loss, _ = bce_with_logits(val_logits, y_val, pos_weight)
+        history.append(
+            {
+                "epoch": epoch,
+                "lr": optimizer.lr,
+                "train_loss": epoch_loss / max(1, n_batches),
+                "val_loss": val_loss,
+            }
+        )
+        if val_loss < best_val - 1e-6:
+            best_val = val_loss
+            best_params = [p.copy() for p in params]
+            best_epoch = epoch
+            bad_epochs = 0
+        else:
+            bad_epochs += 1
+            if bad_epochs >= config.patience:
+                break
+    model.set_parameters(best_params)
+    return TrainResult(model=model, mean=mean, std=std, history=history, best_epoch=best_epoch)
+
+
+def _balanced_weights(labels: np.ndarray) -> np.ndarray:
+    positives = labels > 0.5
+    n_pos = max(1, int(positives.sum()))
+    n_neg = max(1, int((~positives).sum()))
+    n = labels.size
+    w_pos, w_neg = n / (2.0 * n_pos), n / (2.0 * n_neg)
+    return np.where(positives, w_pos, w_neg)

@@ -1,0 +1,31 @@
+"""Logic optimization operators: refactor, rewrite, resubstitution,
+balance, and flow scripting."""
+
+from .balance import balance
+from .flow import COMPRESS2, RESYN2, FlowReport, FlowStep, run_flow
+from .npn_library import LibraryEntry, NpnLibrary, default_library
+from .refactor import RefactorParams, RefactorStats, refactor, refactor_node
+from .resub import ResubParams, ResubStats, resub
+from .rewrite import RewriteParams, RewriteStats, rewrite
+
+__all__ = [
+    "COMPRESS2",
+    "FlowReport",
+    "FlowStep",
+    "LibraryEntry",
+    "NpnLibrary",
+    "RESYN2",
+    "RefactorParams",
+    "RefactorStats",
+    "ResubParams",
+    "ResubStats",
+    "RewriteParams",
+    "RewriteStats",
+    "balance",
+    "default_library",
+    "refactor",
+    "refactor_node",
+    "resub",
+    "rewrite",
+    "run_flow",
+]

@@ -1,0 +1,97 @@
+"""AND-tree balancing (ABC's ``balance``).
+
+Collects maximal multi-input AND super-gates (descending through
+non-complemented, single-fanout fanins) and rebuilds each as a balanced
+tree, combining the lowest-level operands first.  Produces a new network,
+like ABC.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..aig.graph import AIG
+from ..aig.literal import lit_node
+from ..aig.traversal import topological_order
+
+
+def balance(g: AIG, name: str | None = None) -> AIG:
+    """Depth-balanced rebuild of ``g``."""
+    out = AIG(name if name is not None else g.name)
+    new_lit: dict[int, int] = {0: 0}
+    for i, pi in enumerate(g.pis):
+        new_lit[pi] = out.add_pi(g.pi_name(i))
+
+    order = topological_order(g)
+    needed = _shared_or_po_driven(g)
+    for node in order:
+        if node in new_lit or node not in needed:
+            continue
+        new_lit[node] = _build_balanced(g, out, node, new_lit, needed)
+    for i, lit in enumerate(g.pos):
+        driver = lit_node(lit)
+        if driver not in new_lit:  # driver was an unshared interior node
+            new_lit[driver] = _build_balanced(g, out, driver, new_lit, needed)
+        out.add_po(new_lit[driver] ^ (lit & 1), g.po_name(i))
+    return out
+
+
+def _shared_or_po_driven(g: AIG) -> set[int]:
+    """Nodes that must exist as explicit signals in the balanced network:
+    PO drivers, complemented-edge targets, and multi-fanout nodes."""
+    needed: set[int] = set()
+    for lit in g.pos:
+        needed.add(lit_node(lit))
+    for node in g.iter_ands():
+        for fl in g.fanin_lits(node):
+            fanin = lit_node(fl)
+            if not g.is_and(fanin):
+                continue
+            if (fl & 1) or g.n_refs(fanin) > 1:
+                needed.add(fanin)
+    return needed
+
+
+def _build_balanced(
+    g: AIG,
+    out: AIG,
+    root: int,
+    new_lit: dict[int, int],
+    needed: set[int],
+) -> int:
+    """Rebuild the AND super-gate rooted at ``root`` as a balanced tree."""
+    if not g.is_and(root):
+        return new_lit[root]
+    # Gather super-gate operand literals (old-graph literals).
+    operands: list[int] = []
+    stack = list(g.fanin_lits(root))
+    while stack:
+        lit = stack.pop()
+        node = lit_node(lit)
+        expandable = (
+            g.is_and(node)
+            and not (lit & 1)
+            and node not in needed
+        )
+        if expandable:
+            stack.extend(g.fanin_lits(node))
+        else:
+            operands.append(lit)
+    # Map operands into the new graph (building shared subtrees on demand).
+    mapped: list[int] = []
+    for lit in operands:
+        node = lit_node(lit)
+        if node not in new_lit:
+            new_lit[node] = _build_balanced(g, out, node, new_lit, needed)
+        mapped.append(new_lit[node] ^ (lit & 1))
+    # Balanced combine: cheapest levels first.
+    heap = [(out.level(lit_node(lit)), i, lit) for i, lit in enumerate(mapped)]
+    heapq.heapify(heap)
+    tiebreak = len(heap)
+    while len(heap) > 1:
+        _l0, _i0, a = heapq.heappop(heap)
+        _l1, _i1, b = heapq.heappop(heap)
+        combined = out.add_and(a, b)
+        heapq.heappush(heap, (out.level(lit_node(combined)), tiebreak, combined))
+        tiebreak += 1
+    return heap[0][2]

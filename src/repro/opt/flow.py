@@ -1,0 +1,124 @@
+"""Optimization flow scripting (ABC-style command sequences).
+
+``run_flow(g, "resyn2")`` executes the classic
+``b; rw; rf; b; rw; rwz; b; rfz; rwz; b`` sequence, recording per-step
+node counts, depths and runtimes — this powers the paper's claim that
+refactor consumes 20-40% of a resyn2-style flow despite running only
+twice (SS II).  ELF steps (``elf``/``elfz``) slot into the same scripts
+when a classifier is supplied.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..aig.graph import AIG
+from ..errors import ReproError
+from .balance import balance
+from .refactor import RefactorParams, refactor
+from .resub import ResubParams, resub
+from .rewrite import RewriteParams, rewrite
+
+RESYN2 = "b; rw; rf; b; rw; rwz; b; rfz; rwz; b"
+"""The classic ABC resyn2 script."""
+
+COMPRESS2 = "b -l; rw -l; rf -l; b -l; rw -l; rwz -l; b -l; rfz -l; rwz -l; b -l"
+
+
+@dataclass
+class FlowStep:
+    """Outcome of one flow command."""
+
+    command: str
+    runtime: float
+    n_ands: int
+    level: int
+    detail: object = None
+
+
+@dataclass
+class FlowReport:
+    """Per-step trace of a flow execution."""
+
+    script: str
+    steps: list[FlowStep] = field(default_factory=list)
+
+    @property
+    def total_runtime(self) -> float:
+        return sum(s.runtime for s in self.steps)
+
+    def runtime_of(self, prefix: str) -> float:
+        """Total runtime of steps whose command starts with ``prefix``."""
+        return sum(s.runtime for s in self.steps if s.command.startswith(prefix))
+
+    def fraction_of(self, prefix: str) -> float:
+        total = self.total_runtime
+        return 0.0 if total == 0 else self.runtime_of(prefix) / total
+
+
+def run_flow(
+    g: AIG,
+    script: str = RESYN2,
+    classifier=None,
+) -> tuple[AIG, FlowReport]:
+    """Execute a ``;``-separated command script; returns (network, report).
+
+    Commands: ``b`` (balance), ``rw``/``rwz`` (rewrite / zero-cost),
+    ``rf``/``rfz`` (refactor / zero-cost), ``rs`` (resub), ``elf``/
+    ``elfz`` (ELF-pruned refactor; needs ``classifier``).  A ``-l``
+    suffix preserves levels where the operator supports it.
+    """
+    report = FlowReport(script=script)
+    for raw in script.split(";"):
+        command = raw.strip()
+        if not command:
+            continue
+        t0 = time.perf_counter()
+        g, detail = _execute(g, command, classifier)
+        report.steps.append(
+            FlowStep(
+                command=command,
+                runtime=time.perf_counter() - t0,
+                n_ands=g.n_ands,
+                level=g.max_level(),
+                detail=detail,
+            )
+        )
+    return g, report
+
+
+def _execute(g: AIG, command: str, classifier):
+    parts = command.split()
+    op = parts[0]
+    preserve = "-l" in parts[1:]
+    if op == "b":
+        return balance(g), None
+    if op in ("rw", "rwz"):
+        stats = rewrite(
+            g, RewriteParams(zero_cost=op.endswith("z"), preserve_levels=preserve)
+        )
+        return g, stats
+    if op in ("rf", "rfz"):
+        stats = refactor(
+            g, RefactorParams(zero_cost=op.endswith("z"), preserve_levels=preserve)
+        )
+        return g, stats
+    if op == "rs":
+        return g, resub(g, ResubParams(zero_cost=False))
+    if op in ("elf", "elfz"):
+        if classifier is None:
+            raise ReproError(f"flow step {op!r} requires a classifier")
+        from ..elf.operator import ElfParams, elf_refactor
+
+        stats = elf_refactor(
+            g,
+            classifier,
+            ElfParams(
+                refactor=RefactorParams(
+                    zero_cost=op.endswith("z"), preserve_levels=preserve
+                )
+            ),
+        )
+        return g, stats
+    raise ReproError(f"unknown flow command {command!r}")

@@ -1,0 +1,102 @@
+"""Precomputed implementations for 4-input NPN classes.
+
+The rewrite operator replaces 4-input cuts with stored subgraphs chosen
+from the 222 NPN equivalence classes (Mishchenko's DAC'06 scheme).  Here
+each class representative is synthesized once — ISOP of the cheaper
+polarity, algebraically factored — and cached; concrete cut instances are
+obtained by permuting/complementing the leaves per the recorded NPN
+transform.
+
+Construction is lazy: a class is synthesized the first time a cut mapping
+to it is seen, so importing the library costs nothing and a full
+enumeration is never required in the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..factor.factoring import factor
+from ..factor.tree import FactorTree
+from ..tt.isop import isop_exact
+from ..tt.npn import Transform, npn_canonize
+
+N_CUT_VARS = 4
+_FULL = 0xFFFF
+
+
+@dataclass(frozen=True)
+class LibraryEntry:
+    """Implementation of one canonical class function."""
+
+    canonical: int
+    tree: FactorTree  # computes either the function or its complement...
+    inverted: bool  # ...as indicated here
+
+    def n_literals(self) -> int:
+        return self.tree.n_literals()
+
+
+class NpnLibrary:
+    """Lazy cache of canonical-class implementations."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, LibraryEntry] = {}
+        self._canon_cache: dict[int, tuple[int, Transform]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, tt: int) -> tuple[LibraryEntry, Transform]:
+        """Implementation + transform for an arbitrary 4-var function.
+
+        The returned transform ``(perm, input_flips, output_flip)``
+        satisfies ``apply_transform(entry.canonical, transform) == tt``:
+        canonical variable ``j`` must be driven by cut leaf ``perm[j]``,
+        complemented iff bit ``j`` of ``input_flips``; the root inverts
+        iff ``output_flip`` (xor ``entry.inverted``).
+        """
+        tt &= _FULL
+        cached = self._canon_cache.get(tt)
+        if cached is None:
+            cached = npn_canonize(tt)
+            self._canon_cache[tt] = cached
+        canonical, transform = cached
+        entry = self._entries.get(canonical)
+        if entry is None:
+            entry = _synthesize(canonical)
+            self._entries[canonical] = entry
+        return entry, transform
+
+    def leaf_literals(
+        self, leaf_lits: list[int], transform: Transform
+    ) -> tuple[list[int], bool]:
+        """Arrange concrete cut-leaf literals for the canonical tree.
+
+        Returns ``(ordered_leaf_lits, extra_output_inversion)``.
+        """
+        perm, input_flips, output_flip = transform
+        arranged = [
+            leaf_lits[perm[j]] ^ (input_flips >> j & 1) for j in range(N_CUT_VARS)
+        ]
+        return arranged, output_flip
+
+
+def _synthesize(canonical: int) -> LibraryEntry:
+    """Factored implementation of a canonical function, cheaper polarity."""
+    direct = factor(isop_exact(canonical, N_CUT_VARS))
+    complement = factor(isop_exact(canonical ^ _FULL, N_CUT_VARS))
+    if complement.n_literals() < direct.n_literals():
+        return LibraryEntry(canonical, complement, inverted=True)
+    return LibraryEntry(canonical, direct, inverted=False)
+
+
+_DEFAULT: NpnLibrary | None = None
+
+
+def default_library() -> NpnLibrary:
+    """Process-wide shared library instance."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = NpnLibrary()
+    return _DEFAULT

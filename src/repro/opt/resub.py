@@ -1,0 +1,194 @@
+"""Resubstitution: re-express a node using existing divisors.
+
+For each node, collect divisor candidates whose function is defined over
+the node's reconvergence-driven cut (cone-internal nodes outside the
+MFFC, the leaves themselves, and fanout-closure nodes built purely from
+existing divisors), then try:
+
+* 0-resub — an existing divisor (either phase) already computes the
+  node's function: gain = MFFC size;
+* 1-resub — some AND/OR of two divisors (any phases) does: gain =
+  MFFC size - 1 (or more when the gate already exists).
+
+Truth tables over the cut leaves are exact, so every accepted move is
+functionally safe by construction; gains use the same MFFC accounting as
+refactor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..aig.graph import AIG
+from ..aig.literal import lit_node, lit_not, make_lit
+from ..aig.mffc import mffc_nodes
+from ..aig.simulate import cone_truth, full_mask, var_mask
+from ..cuts.reconv import reconv_cut
+
+
+@dataclass
+class ResubParams:
+    max_leaves: int = 8
+    max_divisors: int = 60
+    zero_cost: bool = False
+
+
+@dataclass
+class ResubStats:
+    nodes_visited: int = 0
+    zero_resubs: int = 0
+    one_resubs: int = 0
+    gain_total: int = 0
+    time_total: float = 0.0
+
+    @property
+    def commits(self) -> int:
+        return self.zero_resubs + self.one_resubs
+
+
+def resub(g: AIG, params: ResubParams | None = None) -> ResubStats:
+    """One resubstitution pass over ``g`` in place."""
+    params = params or ResubParams()
+    stats = ResubStats()
+    start = time.perf_counter()
+    for node in g.and_ids():
+        if g.is_dead(node):
+            continue
+        stats.nodes_visited += 1
+        _resub_node(g, node, params, stats)
+    stats.time_total = time.perf_counter() - start
+    return stats
+
+
+def _resub_node(g: AIG, node: int, params: ResubParams, stats: ResubStats) -> bool:
+    cut = reconv_cut(g, node, params.max_leaves, collect_features=False)
+    leaves = cut.leaves
+    n = len(leaves)
+    if n < 2:
+        return False
+    ones = full_mask(n)
+    target = cone_truth(g, node, leaves)
+    mffc = set(mffc_nodes(g, node, boundary=set(leaves)))
+    saved = len(mffc)
+
+    divisors = _collect_divisors(g, node, cut, mffc, params.max_divisors, n)
+
+    # 0-resub: a divisor already computes the function (either phase).
+    for div_node, div_tt in divisors:
+        if div_node == node:
+            continue
+        if div_tt == target:
+            inverted = False
+        elif div_tt ^ ones == target:
+            inverted = True
+        else:
+            continue
+        if saved <= 0:
+            continue
+        before = g.n_ands
+        g.replace(
+            node,
+            lit_not(make_lit(div_node)) if inverted else make_lit(div_node),
+        )
+        stats.zero_resubs += 1
+        stats.gain_total += before - g.n_ands
+        return True
+
+    # 1-resub: AND of two divisors in some phase combination.
+    min_saved = 1 if params.zero_cost else 2
+    if saved < min_saved:
+        return False
+    candidates = [(d, tt) for d, tt in divisors if d != node]
+    for i in range(len(candidates)):
+        d1, t1 = candidates[i]
+        for j in range(i + 1, len(candidates)):
+            d2, t2 = candidates[j]
+            for phase1 in (0, 1):
+                a = t1 ^ (ones if phase1 else 0)
+                for phase2 in (0, 1):
+                    b = t2 ^ (ones if phase2 else 0)
+                    product = a & b
+                    if product == target:
+                        out_phase = 0
+                    elif product ^ ones == target:
+                        out_phase = 1
+                    else:
+                        continue
+                    lit1 = make_lit(d1, bool(phase1))
+                    lit2 = make_lit(d2, bool(phase2))
+                    # Cost: 0 when the AND already exists outside the MFFC.
+                    hit = g.lookup_and(lit1, lit2)
+                    cost = 0 if (hit is not None and lit_node(hit) not in mffc) else 1
+                    gain = saved - cost
+                    if gain < (0 if params.zero_cost else 1):
+                        continue
+                    new_lit = g.add_and(lit1, lit2)
+                    if lit_node(new_lit) == node:
+                        continue
+                    before = g.n_ands
+                    g.replace(node, lit_not(new_lit) if out_phase else new_lit)
+                    stats.one_resubs += 1
+                    stats.gain_total += before - g.n_ands
+                    return True
+    return False
+
+
+def _collect_divisors(
+    g: AIG,
+    node: int,
+    cut,
+    mffc: set[int],
+    max_divisors: int,
+    n_leaves: int,
+) -> list[tuple[int, int]]:
+    """Divisor nodes with their truth tables over the cut leaves.
+
+    Closure construction keeps every divisor's support inside the cut, so
+    no divisor can lie in the node's transitive fanout (which would create
+    a cycle on commit).
+    """
+    tts: dict[int, int] = {}
+    result: list[tuple[int, int]] = []
+    for i, leaf in enumerate(cut.leaves):
+        tts[leaf] = var_mask(i, n_leaves)
+        result.append((leaf, tts[leaf]))
+    # Cone-internal nodes outside the MFFC (fanins are inside the cone).
+    for inner in sorted(cut.interior):
+        if inner in mffc or inner == node:
+            continue
+        value = _tt_from_fanins(g, inner, tts, n_leaves)
+        if value is not None:
+            tts[inner] = value
+            result.append((inner, value))
+    # One closure round: fanouts whose both fanins are known divisors.
+    frontier = list(tts)
+    for known in frontier:
+        if len(result) >= max_divisors:
+            break
+        for fanout in g.fanouts(known):
+            if fanout in tts or fanout in mffc or fanout == node or g.is_dead(fanout):
+                continue
+            value = _tt_from_fanins(g, fanout, tts, n_leaves)
+            if value is not None:
+                tts[fanout] = value
+                result.append((fanout, value))
+                if len(result) >= max_divisors:
+                    break
+    return result[:max_divisors]
+
+
+def _tt_from_fanins(
+    g: AIG, node: int, tts: dict[int, int], n_leaves: int
+) -> int | None:
+    f0, f1 = g.fanin_lits(node)
+    t0 = tts.get(f0 >> 1)
+    t1 = tts.get(f1 >> 1)
+    if t0 is None or t1 is None:
+        return None
+    ones = full_mask(n_leaves)
+    if f0 & 1:
+        t0 ^= ones
+    if f1 & 1:
+        t1 ^= ones
+    return t0 & t1

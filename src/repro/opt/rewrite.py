@@ -1,0 +1,136 @@
+"""DAG-aware AIG rewriting (Mishchenko et al., DAC'06).
+
+For each node, enumerate its 4-input cuts, canonicalize each cut
+function into its NPN class, instantiate the library's precomputed
+factored implementation on the cut leaves, and commit the candidate with
+the best non-negative gain (MFFC freed minus strash-aware nodes added).
+
+Cuts are enumerated once per pass on the entering network; cuts
+invalidated by earlier commits in the same pass are detected (dead
+leaves / uncovered cones) and skipped, which matches the greedy one-pass
+character of the original.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..aig.graph import AIG
+from ..aig.levels import RequiredLevels
+from ..aig.literal import lit_node, lit_not, make_lit
+from ..aig.mffc import mffc_nodes
+from ..aig.simulate import cone_truth
+from ..cuts.enumerate import enumerate_cuts, node_cuts
+from ..errors import TruthTableError
+from ..factor.to_aig import build_tree, count_tree
+from .npn_library import NpnLibrary, default_library
+
+
+@dataclass
+class RewriteParams:
+    k: int = 4
+    max_cuts: int = 8
+    zero_cost: bool = False
+    preserve_levels: bool = False
+
+
+@dataclass
+class RewriteStats:
+    nodes_visited: int = 0
+    cuts_tried: int = 0
+    commits: int = 0
+    gain_total: int = 0
+    stale_cuts: int = 0
+    time_total: float = 0.0
+
+
+def rewrite(
+    g: AIG,
+    params: RewriteParams | None = None,
+    library: NpnLibrary | None = None,
+) -> RewriteStats:
+    """One rewrite pass over ``g`` in place."""
+    params = params or RewriteParams()
+    library = library or default_library()
+    stats = RewriteStats()
+    start = time.perf_counter()
+    required = RequiredLevels(g) if params.preserve_levels else None
+    all_cuts = enumerate_cuts(g, params.k, params.max_cuts)
+    for node in g.and_ids():
+        if g.is_dead(node):
+            continue
+        stats.nodes_visited += 1
+        _rewrite_node(g, node, all_cuts, library, params, required, stats)
+    stats.time_total = time.perf_counter() - start
+    return stats
+
+
+def _rewrite_node(
+    g: AIG,
+    node: int,
+    all_cuts,
+    library: NpnLibrary,
+    params: RewriteParams,
+    required: RequiredLevels | None,
+    stats: RewriteStats,
+) -> bool:
+    best = None  # (gain, -cost, tree, arranged_lits, out_invert, mffc_leaves)
+    for cut in node_cuts(g, node, all_cuts):
+        if len(cut) < 2:
+            continue
+        leaves = sorted(cut)
+        if any(g.is_dead(leaf) for leaf in leaves):
+            stats.stale_cuts += 1
+            continue
+        try:
+            tt = cone_truth(g, node, leaves)
+        except TruthTableError:
+            stats.stale_cuts += 1
+            continue
+        stats.cuts_tried += 1
+        padded = leaves + [0] * (4 - len(leaves))
+        tt4 = _pad_tt(tt, len(leaves))
+        entry, transform = library.lookup(tt4)
+        leaf_lits = [make_lit(leaf) for leaf in padded]
+        arranged, flip = library.leaf_literals(leaf_lits, transform)
+        out_invert = flip ^ entry.inverted
+        mffc = mffc_nodes(g, node, boundary=set(leaves))
+        saved = len(mffc)
+        max_added = saved if params.zero_cost else saved - 1
+        if max_added < 0:
+            continue
+        result = count_tree(g, entry.tree, arranged, set(mffc), max_added)
+        if result is None:
+            continue
+        if (
+            required is not None
+            and result.cost > 0
+            and result.root_level > required.required(node)
+        ):
+            continue
+        gain = saved - result.cost
+        key = (gain, -result.cost)
+        if best is None or key > best[0]:
+            best = (key, entry.tree, arranged, out_invert, leaves)
+    if best is None:
+        return False
+    _key, tree, arranged, out_invert, _leaves = best
+    built = build_tree(g, tree, arranged, avoid_root=node)
+    if built is None or lit_node(built) == node:
+        return False
+    before = g.n_ands
+    g.replace(node, lit_not(built) if out_invert else built)
+    stats.commits += 1
+    stats.gain_total += before - g.n_ands
+    return True
+
+
+def _pad_tt(tt: int, n_leaves: int) -> int:
+    """Extend a k<4-leaf truth table to 4 variables (new vars are don't-
+    affect: the function simply ignores them)."""
+    width = 1 << n_leaves
+    while width < 16:
+        tt = tt | (tt << width)
+        width *= 2
+    return tt & 0xFFFF

@@ -1,0 +1,75 @@
+"""Irredundant sum-of-products via the Minato-Morreale algorithm.
+
+``isop(lower, upper, n_vars)`` computes a cube cover ``C`` with
+``lower <= tt(C) <= upper`` (an *interval cover*, enabling don't-cares);
+``isop_exact`` is the common ``lower == upper`` case used by refactor.
+The recursion splits on the top variable in the support and produces an
+irredundant cover, the same construction ABC uses (``Kit_TruthIsop``).
+"""
+
+from __future__ import annotations
+
+from ..errors import TruthTableError
+from ..aig.simulate import full_mask, var_mask
+from .sop import lit_index
+from .truth import cofactor0, cofactor1
+
+
+def isop_exact(tt: int, n_vars: int) -> list[int]:
+    """Irredundant SOP of ``tt`` (no don't-cares)."""
+    cubes, cover = _isop(tt, tt, n_vars, n_vars)
+    if cover != tt:  # pragma: no cover - algorithmic invariant
+        raise TruthTableError("isop cover mismatch")
+    return cubes
+
+
+def isop(lower: int, upper: int, n_vars: int) -> list[int]:
+    """Cover ``C`` with ``lower <= tt(C) <= upper`` (don't-care interval)."""
+    mask = full_mask(n_vars)
+    lower &= mask
+    upper &= mask
+    if lower & ~upper:
+        raise TruthTableError("isop: lower bound not contained in upper bound")
+    cubes, _cover = _isop(lower, upper, n_vars, n_vars)
+    return cubes
+
+
+def _isop(lower: int, upper: int, top: int, n_vars: int) -> tuple[list[int], int]:
+    """Recursive core; returns (cubes, exact cover truth table)."""
+    if lower == 0:
+        return [], 0
+    if upper == full_mask(n_vars):
+        return [0], full_mask(n_vars)
+    # Find the top-most variable either bound depends on.
+    var = top - 1
+    while var >= 0:
+        mask = var_mask(var, n_vars)
+        if (lower & mask) != ((lower << (1 << var)) & mask) or (
+            (upper & mask) != ((upper << (1 << var)) & mask)
+        ):
+            break
+        var -= 1
+    if var < 0:  # pragma: no cover - constants handled above
+        raise TruthTableError("isop: no support variable found")
+
+    l0, l1 = cofactor0(lower, var, n_vars), cofactor1(lower, var, n_vars)
+    u0, u1 = cofactor0(upper, var, n_vars), cofactor1(upper, var, n_vars)
+    ones = full_mask(n_vars)
+
+    # Minterms only realizable in the var=0 (resp. var=1) half.
+    cubes0, cover0 = _isop(l0 & ~u1 & ones, u0, var, n_vars)
+    cubes1, cover1 = _isop(l1 & ~u0 & ones, u1, var, n_vars)
+    # What remains must be covered independently of var.
+    l_rest = (l0 & ~cover0) | (l1 & ~cover1)
+    cubes_star, cover_star = _isop(l_rest & ones, u0 & u1, var, n_vars)
+
+    neg_bit = 1 << lit_index(var, True)
+    pos_bit = 1 << lit_index(var, False)
+    cubes = (
+        [c | neg_bit for c in cubes0]
+        + [c | pos_bit for c in cubes1]
+        + cubes_star
+    )
+    mask = var_mask(var, n_vars)
+    cover = (cover0 & ~mask) | (cover1 & mask) | cover_star
+    return cubes, cover

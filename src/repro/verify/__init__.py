@@ -1,0 +1,14 @@
+"""Verification: SAT solving, CNF encoding, combinational equivalence."""
+
+from .cec import counterexample, equivalent, po_truth_tables
+from .cnf import CnfMapping, encode
+from .sat import Solver
+
+__all__ = [
+    "CnfMapping",
+    "Solver",
+    "counterexample",
+    "encode",
+    "equivalent",
+    "po_truth_tables",
+]

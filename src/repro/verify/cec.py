@@ -1,0 +1,114 @@
+"""Combinational equivalence checking (CEC).
+
+Strategy ladder:
+
+1. exhaustive truth tables when the support is small (exact);
+2. random bit-parallel simulation (fast falsification);
+3. SAT on the miter (exact, via the built-in DPLL solver).
+
+The test suite leans on this to prove that every optimization operator
+preserves network functionality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..aig.graph import AIG
+from ..aig.literal import lit_node
+from ..aig.simulate import cone_truth, full_mask, simulate, var_mask
+from ..errors import ReproError
+from .cnf import CnfMapping, encode
+from .sat import Solver
+
+EXHAUSTIVE_PI_LIMIT = 12
+
+
+def po_truth_tables(g: AIG) -> list[int]:
+    """Exhaustive truth table of every PO (requires few PIs)."""
+    if g.n_pis > 16:
+        raise ReproError(f"{g.n_pis} PIs is too many for exhaustive tables")
+    pis = g.pis
+    ones = full_mask(len(pis))
+    tables = []
+    for lit in g.pos:
+        tt = cone_truth(g, lit_node(lit), pis)
+        tables.append(tt ^ ones if lit & 1 else tt)
+    return tables
+
+
+def equivalent(
+    g1: AIG,
+    g2: AIG,
+    method: str = "auto",
+    n_random_words: int = 16,
+    seed: int = 0,
+) -> bool:
+    """Decide whether the two networks compute the same functions.
+
+    ``method``: ``"auto"`` (exhaustive if small, else simulation screen +
+    SAT), ``"exhaustive"``, ``"sim"`` (probabilistic!), or ``"sat"``.
+    """
+    if g1.n_pis != g2.n_pis or g1.n_pos != g2.n_pos:
+        return False
+    if method == "exhaustive" or (method == "auto" and g1.n_pis <= EXHAUSTIVE_PI_LIMIT):
+        return po_truth_tables(g1) == po_truth_tables(g2)
+    if not _sim_equal(g1, g2, n_random_words, seed):
+        return False
+    if method == "sim":
+        return True
+    return _sat_equal(g1, g2)
+
+
+def counterexample(g1: AIG, g2: AIG) -> dict[int, bool] | None:
+    """PI assignment distinguishing the two networks, or None if equivalent.
+
+    Keys are PI indices (position in ``g.pis``).
+    """
+    solver, m1, _m2, outputs = _build_miter_cnf(g1, g2)
+    solver.add_clause(outputs)
+    if not solver.solve():
+        return None
+    model = solver.model()
+    return {
+        i: model.get(m1.var_of[pi], False) for i, pi in enumerate(g1.pis)
+    }
+
+
+def _sim_equal(g1: AIG, g2: AIG, n_words: int, seed: int) -> bool:
+    rng = np.random.default_rng(seed)
+    pi_values = rng.integers(0, 2**64, size=(g1.n_pis, n_words), dtype=np.uint64)
+    return np.array_equal(simulate(g1, pi_values), simulate(g2, pi_values))
+
+
+def _sat_equal(g1: AIG, g2: AIG) -> bool:
+    solver, _m1, _m2, outputs = _build_miter_cnf(g1, g2)
+    # Any PO pair differing -> SAT. One clause over all XOR outputs.
+    solver.add_clause(outputs)
+    return not solver.solve()
+
+
+def _build_miter_cnf(
+    g1: AIG, g2: AIG
+) -> tuple[Solver, CnfMapping, CnfMapping, list[int]]:
+    solver = Solver()
+    m1 = encode(g1, solver)
+    m2 = encode(g2, solver, CnfMapping(g2, offset=m1.n_vars))
+    # Tie the PIs together.
+    for pi1, pi2 in zip(g1.pis, g2.pis):
+        v1, v2 = m1.var_of[pi1], m2.var_of[pi2]
+        solver.add_clause([-v1, v2])
+        solver.add_clause([v1, -v2])
+    # XOR variable per PO pair.
+    outputs = []
+    next_var = m1.n_vars + m2.n_vars
+    for lit1, lit2 in zip(g1.pos, g2.pos):
+        a, b = m1.dimacs(lit1), m2.dimacs(lit2)
+        next_var += 1
+        x = next_var
+        solver.add_clause([-x, a, b])
+        solver.add_clause([-x, -a, -b])
+        solver.add_clause([x, -a, b])
+        solver.add_clause([x, a, -b])
+        outputs.append(x)
+    return solver, m1, m2, outputs

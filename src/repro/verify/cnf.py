@@ -1,0 +1,43 @@
+"""Tseitin encoding of AIGs into CNF."""
+
+from __future__ import annotations
+
+from ..aig.graph import AIG
+from ..aig.literal import lit_node
+from .sat import Solver
+
+
+class CnfMapping:
+    """Mapping from AIG nodes to DIMACS variables."""
+
+    def __init__(self, g: AIG, offset: int = 0) -> None:
+        self.var_of: dict[int, int] = {}
+        next_var = offset + 1
+        self.var_of[0] = next_var  # constant node
+        next_var += 1
+        for pi in g.pis:
+            self.var_of[pi] = next_var
+            next_var += 1
+        for node in g.iter_ands():
+            self.var_of[node] = next_var
+            next_var += 1
+        self.n_vars = next_var - 1
+
+    def dimacs(self, aig_lit: int) -> int:
+        """DIMACS literal for an AIG literal."""
+        var = self.var_of[lit_node(aig_lit)]
+        return -var if aig_lit & 1 else var
+
+
+def encode(g: AIG, solver: Solver, mapping: CnfMapping | None = None) -> CnfMapping:
+    """Add Tseitin clauses of ``g`` to ``solver``; returns the mapping."""
+    mapping = mapping or CnfMapping(g)
+    solver.add_clause([-mapping.var_of[0]])  # constant node is false
+    for node in g.iter_ands():
+        z = mapping.var_of[node]
+        f0, f1 = g.fanin_lits(node)
+        a, b = mapping.dimacs(f0), mapping.dimacs(f1)
+        solver.add_clause([-z, a])
+        solver.add_clause([-z, b])
+        solver.add_clause([z, -a, -b])
+    return mapping

@@ -1,0 +1,172 @@
+"""A compact CNF SAT solver (iterative DPLL with watched literals).
+
+Small by design: the library only needs it for combinational equivalence
+checking of test- and example-sized miters.  Literals follow the DIMACS
+convention: variables are positive ints, negation is the negative int.
+"""
+
+from __future__ import annotations
+
+from ..errors import SatError
+
+
+class Solver:
+    """DPLL with two-watched-literal propagation and a static frequency
+    decision heuristic."""
+
+    def __init__(self) -> None:
+        self._clauses: list[list[int]] = []
+        self._n_vars = 0
+        self._model: dict[int, bool] = {}
+
+    def add_clause(self, lits: list[int]) -> None:
+        """Add a clause; empty clauses make the instance trivially UNSAT."""
+        clause = []
+        seen = set()
+        for lit in lits:
+            if lit == 0:
+                raise SatError("0 is not a valid DIMACS literal")
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+                self._n_vars = max(self._n_vars, abs(lit))
+        self._clauses.append(clause)
+
+    @property
+    def n_vars(self) -> int:
+        return self._n_vars
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self._clauses)
+
+    def solve(self, assumptions: list[int] | None = None) -> bool:
+        """Decide satisfiability; the model is available via :meth:`model`."""
+        if any(not clause for clause in self._clauses):
+            return False
+        n = self._n_vars
+        assign: list[int] = [0] * (n + 1)  # 0 unknown, 1 true, -1 false
+        trail: list[int] = []
+        trail_lim: list[int] = []
+        watches: dict[int, list[int]] = {}
+        clauses = [list(c) for c in self._clauses]
+
+        def watch(lit: int, ci: int) -> None:
+            watches.setdefault(lit, []).append(ci)
+
+        units: list[int] = []
+        for ci, clause in enumerate(clauses):
+            if len(clause) == 1:
+                units.append(clause[0])
+            else:
+                watch(clause[0], ci)
+                watch(clause[1], ci)
+
+        def value(lit: int) -> int:
+            v = assign[abs(lit)]
+            return v if lit > 0 else -v
+
+        def enqueue(lit: int) -> bool:
+            if value(lit) == 1:
+                return True
+            if value(lit) == -1:
+                return False
+            assign[abs(lit)] = 1 if lit > 0 else -1
+            trail.append(lit)
+            return True
+
+        def propagate(start: int) -> bool:
+            head = start
+            while head < len(trail):
+                false_lit = -trail[head]
+                head += 1
+                watching = watches.get(false_lit, [])
+                kept: list[int] = []
+                i = 0
+                while i < len(watching):
+                    ci = watching[i]
+                    i += 1
+                    clause = clauses[ci]
+                    # Normalize: watched lits at positions 0 and 1.
+                    if clause[0] == false_lit:
+                        clause[0], clause[1] = clause[1], clause[0]
+                    other = clause[0]
+                    if value(other) == 1:
+                        kept.append(ci)
+                        continue
+                    moved = False
+                    for k in range(2, len(clause)):
+                        if value(clause[k]) != -1:
+                            clause[1], clause[k] = clause[k], clause[1]
+                            watch(clause[1], ci)
+                            moved = True
+                            break
+                    if moved:
+                        continue
+                    kept.append(ci)
+                    if not enqueue(other):
+                        kept.extend(watching[i:])
+                        watches[false_lit] = kept
+                        return False
+                watches[false_lit] = kept
+            return True
+
+        for lit in units:
+            if not enqueue(lit):
+                return False
+        for lit in assumptions or []:
+            if abs(lit) > n:
+                continue
+            if not enqueue(lit):
+                return False
+        if not propagate(0):
+            return False
+
+        # Static decision order: most frequent variables first.
+        freq = [0] * (n + 1)
+        for clause in clauses:
+            for lit in clause:
+                freq[abs(lit)] += 1
+        order = sorted(range(1, n + 1), key=lambda v: -freq[v])
+        # (decision_var_index, phase_tried) stack
+        decisions: list[tuple[int, int]] = []
+
+        def next_unassigned() -> int:
+            for v in order:
+                if assign[v] == 0:
+                    return v
+            return 0
+
+        while True:
+            var = next_unassigned()
+            if var == 0:
+                self._model = {v: assign[v] == 1 for v in range(1, n + 1)}
+                return True
+            trail_lim.append(len(trail))
+            decisions.append((var, 0))
+            enqueue(var)  # try positive phase first
+            while not propagate(trail_lim[-1]):
+                # Conflict: backtrack chronologically.
+                while decisions and decisions[-1][1] == 1:
+                    level = trail_lim.pop()
+                    for lit in trail[level:]:
+                        assign[abs(lit)] = 0
+                    del trail[level:]
+                    decisions.pop()
+                if not decisions:
+                    return False
+                var, _phase = decisions[-1]
+                level = trail_lim[-1]
+                for lit in trail[level:]:
+                    assign[abs(lit)] = 0
+                del trail[level:]
+                decisions[-1] = (var, 1)
+                enqueue(-var)
+
+    def model(self) -> dict[int, bool]:
+        """Satisfying assignment from the last successful :meth:`solve`."""
+        if not self._model:
+            raise SatError("no model available (last solve failed or not run)")
+        return dict(self._model)

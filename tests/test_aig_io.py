@@ -1,0 +1,104 @@
+"""Tests for AIGER and BENCH file I/O."""
+
+import pytest
+
+from repro.aig import check
+from repro.aig import io_aiger, io_bench
+from repro.errors import AigerFormatError, BenchFormatError
+
+from .util import po_truth_tables, random_aig
+
+
+@pytest.mark.parametrize("writer", [io_aiger.write_ascii, io_aiger.write_binary])
+def test_aiger_roundtrip(tmp_path, writer):
+    g = random_aig(6, 60, 5, seed=4)
+    path = tmp_path / "net.aig"
+    writer(g, path)
+    h = io_aiger.read(path)
+    assert h.n_pis == g.n_pis
+    assert h.n_pos == g.n_pos
+    assert po_truth_tables(h) == po_truth_tables(g)
+    check(h)
+
+
+def test_aiger_ascii_header_and_symbols(tmp_path):
+    g = random_aig(3, 5, 2, seed=0)
+    g._pi_names[0] = "clk_enable"
+    path = tmp_path / "net.aag"
+    io_aiger.write_ascii(g, path)
+    text = path.read_text()
+    assert text.startswith("aag ")
+    assert "i0 clk_enable" in text
+    h = io_aiger.read(path)
+    assert h.pi_name(0) == "clk_enable"
+
+
+def test_aiger_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.aig"
+    path.write_text("not an aiger file")
+    with pytest.raises(AigerFormatError):
+        io_aiger.read(path)
+
+
+def test_aiger_rejects_latches(tmp_path):
+    path = tmp_path / "latch.aag"
+    path.write_text("aag 1 0 1 0 0\n2 2\n")
+    with pytest.raises(AigerFormatError):
+        io_aiger.read(path)
+
+
+def test_bench_roundtrip(tmp_path):
+    g = random_aig(5, 40, 4, seed=8)
+    path = tmp_path / "net.bench"
+    io_bench.write(g, path)
+    h = io_bench.read(path)
+    assert po_truth_tables(h) == po_truth_tables(g)
+    check(h)
+
+
+def test_bench_reads_rich_gates(tmp_path):
+    path = tmp_path / "rich.bench"
+    path.write_text(
+        """
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(f)
+OUTPUT(gg)
+t1 = NAND(a, b, c)
+t2 = XOR(a, b)
+f = OR(t1, t2)
+gg = NOT(c)
+"""
+    )
+    g = io_bench.read(path)
+    assert g.n_pis == 3
+    assert g.n_pos == 2
+    tts = po_truth_tables(g)
+    va, vb, vc = 0xAA, 0xCC, 0xF0
+    mask = 0xFF
+    assert tts[0] == ((~(va & vb & vc) | (va ^ vb)) & mask)
+    assert tts[1] == (~vc & mask)
+
+
+def test_bench_out_of_order_definitions(tmp_path):
+    path = tmp_path / "ooo.bench"
+    path.write_text(
+        "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = AND(t, b)\nt = OR(a, b)\n"
+    )
+    g = io_bench.read(path)
+    assert g.n_ands >= 1
+
+
+def test_bench_rejects_undefined_signal(tmp_path):
+    path = tmp_path / "bad.bench"
+    path.write_text("INPUT(a)\nOUTPUT(f)\nf = AND(a, ghost)\n")
+    with pytest.raises(BenchFormatError):
+        io_bench.read(path)
+
+
+def test_bench_rejects_unknown_gate(tmp_path):
+    path = tmp_path / "bad2.bench"
+    path.write_text("INPUT(a)\nOUTPUT(f)\nf = MAJ3(a, a, a)\n")
+    with pytest.raises(BenchFormatError):
+        io_bench.read(path)

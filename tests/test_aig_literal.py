@@ -1,0 +1,46 @@
+"""Tests for AIGER-style literal helpers."""
+
+from repro.aig import (
+    CONST0,
+    CONST1,
+    lit_is_compl,
+    lit_node,
+    lit_not,
+    lit_regular,
+    lit_with_compl,
+    lit_xor_compl,
+    make_lit,
+)
+
+
+def test_constants():
+    assert CONST0 == 0
+    assert CONST1 == 1
+    assert lit_not(CONST0) == CONST1
+
+
+def test_make_and_decompose():
+    for node in (0, 1, 7, 123456):
+        for compl in (False, True):
+            lit = make_lit(node, compl)
+            assert lit_node(lit) == node
+            assert lit_is_compl(lit) is compl
+
+
+def test_not_is_involution():
+    for lit in range(20):
+        assert lit_not(lit_not(lit)) == lit
+        assert lit_not(lit) != lit
+
+
+def test_regular_strips_complement():
+    assert lit_regular(7) == 6
+    assert lit_regular(6) == 6
+
+
+def test_with_and_xor_compl():
+    assert lit_with_compl(6, True) == 7
+    assert lit_with_compl(7, False) == 6
+    assert lit_xor_compl(6, True) == 7
+    assert lit_xor_compl(7, True) == 6
+    assert lit_xor_compl(7, False) == 7

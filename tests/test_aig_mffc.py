@@ -1,0 +1,73 @@
+"""Tests for MFFC (maximum fanout-free cone) computation."""
+
+from repro.aig import AIG, check, lit_node, mffc_deref, mffc_nodes, mffc_ref, mffc_size
+
+from .util import random_aig
+
+
+def build_chain():
+    """a&b -> &c -> &d chain driving one PO; whole chain is the MFFC."""
+    g = AIG()
+    a, b, c, d = (g.add_pi() for _ in range(4))
+    x = g.add_and(a, b)
+    y = g.add_and(x, c)
+    z = g.add_and(y, d)
+    g.add_po(z)
+    return g, [lit_node(x), lit_node(y), lit_node(z)]
+
+
+def test_mffc_of_chain_is_whole_chain():
+    g, (nx, ny, nz) = build_chain()
+    assert mffc_size(g, nz) == 3
+    assert sorted(mffc_nodes(g, nz)) == sorted([nx, ny, nz])
+
+
+def test_mffc_stops_at_shared_node():
+    g, (nx, ny, nz) = build_chain()
+    # Give x an extra fanout: it leaves the MFFC of z.
+    e = g.add_pi()
+    import repro.aig.graph as graph_mod
+
+    w = g.add_and(graph_mod.make_lit(nx), e)
+    g.add_po(w)
+    assert mffc_size(g, nz) == 2
+    assert nx not in mffc_nodes(g, nz)
+
+
+def test_mffc_boundary_cut_leaves():
+    g, (nx, ny, nz) = build_chain()
+    # Bound the sweep at y: only z counts.
+    assert mffc_size(g, nz, boundary={ny}) == 1
+    assert mffc_nodes(g, nz, boundary={ny}) == [nz]
+
+
+def test_deref_ref_restores_counts():
+    g = random_aig(6, 40, 5, seed=11)
+    refs_before = list(g._refs)
+    for node in g.and_ids():
+        freed = mffc_deref(g, node)
+        restored = mffc_ref(g, node)
+        assert restored == len(freed)
+        assert g._refs == refs_before
+    check(g)
+
+
+def test_mffc_size_matches_actual_deletion():
+    # Replacing a PO driver with a PI deletes exactly its (PI-bounded) MFFC.
+    g = random_aig(6, 40, 1, seed=5)
+    root = lit_node(g.pos[0])
+    if not g.is_and(root):
+        return
+    predicted = mffc_size(g, root)
+    before = g.n_ands
+    g.replace(root, g.pis[0] * 2)
+    assert before - g.n_ands == predicted
+    check(g)
+
+
+def test_mffc_root_only():
+    g = AIG()
+    a, b = g.add_pi(), g.add_pi()
+    x = g.add_and(a, b)
+    g.add_po(x)
+    assert mffc_size(g, lit_node(x)) == 1

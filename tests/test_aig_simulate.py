@@ -1,0 +1,96 @@
+"""Tests for bit-parallel simulation and cone truth tables."""
+
+import numpy as np
+import pytest
+
+from repro.aig import AIG, cone_truth, full_mask, lit_node, lit_not, simulate, var_mask
+from repro.errors import TruthTableError
+
+from .util import po_truth_tables, random_aig
+
+
+def test_var_mask_patterns():
+    assert var_mask(0, 2) == 0b1010
+    assert var_mask(1, 2) == 0b1100
+    assert var_mask(0, 3) == 0xAA
+    assert var_mask(1, 3) == 0xCC
+    assert var_mask(2, 3) == 0xF0
+    assert full_mask(3) == 0xFF
+
+
+def test_var_mask_out_of_range():
+    with pytest.raises(TruthTableError):
+        var_mask(3, 3)
+
+
+def test_cone_truth_simple_gates():
+    g = AIG()
+    a, b = g.add_pi(), g.add_pi()
+    x = g.add_and(a, b)
+    o = g.add_or(a, b)
+    assert cone_truth(g, lit_node(x), [lit_node(a), lit_node(b)]) == 0b1000
+    # OR is complemented AND; table of the underlying node is NOR.
+    assert cone_truth(g, lit_node(o), [lit_node(a), lit_node(b)]) == 0b0001
+
+
+def test_cone_truth_of_leaf_and_const():
+    g = AIG()
+    a, b = g.add_pi(), g.add_pi()
+    leaves = [lit_node(a), lit_node(b)]
+    assert cone_truth(g, lit_node(a), leaves) == 0b1010
+    assert cone_truth(g, 0, leaves) == 0
+
+
+def test_cone_truth_rejects_uncovered_cut():
+    g = AIG()
+    a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+    x = g.add_and(a, b)
+    y = g.add_and(x, c)
+    with pytest.raises(TruthTableError):
+        # cut {a, c} does not cover b
+        cone_truth(g, lit_node(y), [lit_node(a), lit_node(c)])
+
+
+def test_cone_truth_respects_cut_boundary():
+    g = AIG()
+    a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+    x = g.add_and(a, b)
+    y = g.add_and(x, c)
+    # With x as a leaf, y is just AND(var0, var1) in terms of (x, c).
+    assert cone_truth(g, lit_node(y), [lit_node(x), lit_node(c)]) == 0b1000
+
+
+def test_simulate_matches_truth_tables():
+    g = random_aig(6, 50, 4, seed=9)
+    truths = po_truth_tables(g)
+    # Exhaustive simulation: one word covers all 64 input combinations.
+    n = g.n_pis
+    pi_values = np.array(
+        [[var_mask(i, n)] for i in range(n)], dtype=np.uint64
+    )
+    out = simulate(g, pi_values)
+    for k in range(g.n_pos):
+        assert int(out[k, 0]) == truths[k]
+
+
+def test_simulate_random_shape_and_determinism():
+    g = random_aig(5, 30, 3, seed=1)
+    out1 = simulate(g, n_words=2, seed=42)
+    out2 = simulate(g, n_words=2, seed=42)
+    assert out1.shape == (3, 2)
+    assert np.array_equal(out1, out2)
+
+
+def test_simulate_rejects_bad_shape():
+    g = random_aig(5, 10, 2, seed=1)
+    with pytest.raises(TruthTableError):
+        simulate(g, np.zeros((3, 1), dtype=np.uint64))
+
+
+def test_po_inversion_handled():
+    g = AIG()
+    a = g.add_pi()
+    g.add_po(lit_not(a))
+    pi_values = np.array([[np.uint64(0xAA)]], dtype=np.uint64)
+    out = simulate(g, pi_values)
+    assert int(out[0, 0]) == 0xFFFFFFFFFFFFFF55

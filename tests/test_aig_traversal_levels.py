@@ -1,0 +1,118 @@
+"""Tests for traversals and required levels."""
+
+from repro.aig import (
+    AIG,
+    RequiredLevels,
+    cone_nodes,
+    levels_histogram,
+    lit_node,
+    support,
+    topological_order,
+    transitive_fanin,
+    transitive_fanout,
+)
+
+from .util import random_aig
+
+
+def test_topological_order_contract():
+    g = random_aig(5, 30, 3, seed=2)
+    order = topological_order(g)
+    position = {node: i for i, node in enumerate(order)}
+    for node in order:
+        for fl in g.fanin_lits(node):
+            fanin = lit_node(fl)
+            if g.is_and(fanin):
+                assert position[fanin] < position[node]
+
+
+def test_transitive_fanin_includes_support():
+    g = AIG()
+    a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+    x = g.add_and(a, b)
+    y = g.add_and(x, c)
+    g.add_po(y)
+    tfi = transitive_fanin(g, [lit_node(y)])
+    assert lit_node(x) in tfi
+    assert lit_node(a) in tfi and lit_node(c) in tfi
+    tfi_no_pi = transitive_fanin(g, [lit_node(y)], include_pis=False)
+    assert lit_node(a) not in tfi_no_pi
+
+
+def test_transitive_fanout():
+    g = AIG()
+    a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+    x = g.add_and(a, b)
+    y = g.add_and(x, c)
+    z = g.add_and(x, lit_node(c) * 2 + 1)
+    g.add_po(y)
+    g.add_po(z)
+    tfo = transitive_fanout(g, [lit_node(x)])
+    assert tfo == {lit_node(x), lit_node(y), lit_node(z)}
+
+
+def test_cone_nodes_excludes_leaves():
+    g = AIG()
+    a, b, c, d = (g.add_pi() for _ in range(4))
+    x = g.add_and(a, b)
+    y = g.add_and(c, d)
+    z = g.add_and(x, y)
+    g.add_po(z)
+    nx, ny, nz = lit_node(x), lit_node(y), lit_node(z)
+    assert cone_nodes(g, nz, {nx, ny}) == [nz]
+    assert cone_nodes(g, nz, {nx}) == sorted([ny, nz])
+    assert cone_nodes(g, nz, set()) == sorted([nx, ny, nz])
+
+
+def test_support():
+    g = AIG()
+    a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+    x = g.add_and(a, b)
+    g.add_po(x)
+    assert support(g, lit_node(x)) == {lit_node(a), lit_node(b)}
+    assert lit_node(c) not in support(g, lit_node(x))
+
+
+def test_required_levels_chain():
+    g = AIG()
+    a, b, c, d = (g.add_pi() for _ in range(4))
+    x = g.add_and(a, b)  # level 1
+    y = g.add_and(x, c)  # level 2
+    z = g.add_and(y, d)  # level 3
+    g.add_po(z)
+    req = RequiredLevels(g)
+    assert req.depth == 3
+    assert req.required(lit_node(z)) == 3
+    assert req.required(lit_node(y)) == 2
+    assert req.required(lit_node(x)) == 1
+    assert not req.is_stale
+
+
+def test_required_levels_slack_off_critical_path():
+    g = AIG()
+    a, b, c, d, e = (g.add_pi() for _ in range(5))
+    deep = g.add_and(g.add_and(g.add_and(a, b), c), d)  # level 3
+    shallow = g.add_and(a, e)  # level 1, off critical path
+    g.add_po(deep)
+    g.add_po(shallow)
+    req = RequiredLevels(g)
+    assert req.required(lit_node(shallow)) == 3  # can sink to depth
+
+
+def test_required_levels_staleness():
+    g = AIG()
+    a, b = g.add_pi(), g.add_pi()
+    x = g.add_and(a, b)
+    g.add_po(x)
+    req = RequiredLevels(g)
+    g.add_and(a, lit_node(b) * 2 + 1)
+    assert req.is_stale
+
+
+def test_levels_histogram():
+    g = AIG()
+    a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+    x = g.add_and(a, b)
+    y = g.add_and(x, c)
+    g.add_po(y)
+    assert levels_histogram(g) == {1: 1, 2: 1}

@@ -1,0 +1,103 @@
+"""Tests for t-SNE and exact Shapley values."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    mean_abs_shap,
+    shap_direction,
+    shapley_values,
+    trustworthiness,
+    tsne,
+)
+from repro.errors import TrainingError
+
+
+class TestTsne:
+    def test_shapes_and_determinism(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(60, 6))
+        y1 = tsne(x, n_iter=50, seed=1)
+        y2 = tsne(x, n_iter=50, seed=1)
+        assert y1.shape == (60, 2)
+        assert np.allclose(y1, y2)
+
+    def test_separates_clusters(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(40, 5))
+        b = rng.normal(size=(40, 5)) + 12.0
+        x = np.vstack([a, b])
+        y = tsne(x, n_iter=250, seed=0)
+        centroid_a = y[:40].mean(axis=0)
+        centroid_b = y[40:].mean(axis=0)
+        spread_a = np.linalg.norm(y[:40] - centroid_a, axis=1).mean()
+        gap = np.linalg.norm(centroid_a - centroid_b)
+        assert gap > 2 * spread_a
+
+    def test_trustworthiness_reasonable(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(50, 4))
+        y = tsne(x, n_iter=200, seed=0)
+        assert trustworthiness(x, y, k=5) > 0.6
+        # identity embedding of 2-d data is perfectly trustworthy
+        x2 = rng.normal(size=(30, 2))
+        assert trustworthiness(x2, x2, k=3) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            tsne(np.zeros((3, 2)))
+        with pytest.raises(TrainingError):
+            tsne(np.zeros(5))
+
+
+class TestShap:
+    def test_linear_model_recovers_coefficients(self):
+        # For a linear model, Shapley value of feature j is w_j*(x_j - mean_j).
+        rng = np.random.default_rng(0)
+        w = np.array([1.0, -2.0, 0.0, 3.0, 0.5, -1.0])
+        background = rng.normal(size=(50, 6))
+        x = rng.normal(size=(8, 6))
+
+        def predict(batch):
+            return batch @ w
+
+        phi = shapley_values(predict, x, background)
+        expected = w * (x - background.mean(axis=0))
+        assert np.allclose(phi, expected, atol=1e-9)
+
+    def test_efficiency_axiom(self):
+        # Shapley values sum to f(x) - f(reference).
+        rng = np.random.default_rng(1)
+        background = rng.normal(size=(30, 4))
+        x = rng.normal(size=(5, 4))
+
+        def predict(batch):
+            return np.tanh(batch).sum(axis=1) + batch[:, 0] * batch[:, 1]
+
+        phi = shapley_values(predict, x, background)
+        reference = background.mean(axis=0)
+        expected_total = predict(x) - predict(reference[None, :])
+        assert np.allclose(phi.sum(axis=1), expected_total, atol=1e-9)
+
+    def test_null_feature_gets_zero(self):
+        rng = np.random.default_rng(2)
+        background = rng.normal(size=(20, 3))
+        x = rng.normal(size=(4, 3))
+
+        def predict(batch):
+            return batch[:, 0] * 2.0  # ignores features 1, 2
+
+        phi = shapley_values(predict, x, background)
+        assert np.allclose(phi[:, 1:], 0.0, atol=1e-12)
+
+    def test_summaries(self):
+        phi = np.array([[1.0, 2.0], [-1.0, -2.0]])
+        assert np.allclose(mean_abs_shap(phi), [1.0, 2.0])
+        x = np.array([[1.0, 0.0], [-1.0, 1.0]])
+        directions = shap_direction(phi, x)
+        assert directions[0] > 0.99  # phi tracks x positively
+        assert directions[1] < -0.99  # phi falls as x rises
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            shapley_values(lambda b: b.sum(axis=1), np.zeros((2, 3)), np.zeros((2, 4)))

@@ -1,0 +1,155 @@
+"""Functional tests for the arithmetic generators (small widths, exhaustive)."""
+
+import math
+
+import pytest
+
+from repro.aig import check
+from repro.circuits.arith import (
+    adder,
+    alu,
+    divider,
+    hypotenuse,
+    isqrt,
+    log2_approx,
+    mac,
+    multiplier,
+    square,
+)
+from repro.verify import po_truth_tables
+
+
+def outputs_at(tables, index):
+    return sum((tt >> index & 1) << i for i, tt in enumerate(tables))
+
+
+def test_adder_exhaustive():
+    g = adder(3)
+    tables = po_truth_tables(g)
+    for x in range(8):
+        for y in range(8):
+            assert outputs_at(tables, x | (y << 3)) == x + y
+    check(g)
+
+
+def test_multiplier_exhaustive():
+    g = multiplier(3)
+    assert g.n_pis == 6 and g.n_pos == 6
+    tables = po_truth_tables(g)
+    for x in range(8):
+        for y in range(8):
+            assert outputs_at(tables, x | (y << 3)) == x * y
+    check(g)
+
+
+def test_square_exhaustive():
+    g = square(4)
+    assert g.n_pis == 4 and g.n_pos == 8
+    tables = po_truth_tables(g)
+    for x in range(16):
+        assert outputs_at(tables, x) == x * x
+    check(g)
+
+
+def test_divider_exhaustive():
+    g = divider(3)
+    assert g.n_pis == 6 and g.n_pos == 6
+    tables = po_truth_tables(g)
+    for n in range(8):
+        for d in range(8):
+            value = outputs_at(tables, n | (d << 3))
+            q, r = value & 0b111, value >> 3
+            if d == 0:
+                continue  # division by zero unspecified
+            assert q == n // d, f"{n}/{d}"
+            assert r == n % d, f"{n}%{d}"
+    check(g)
+
+
+def test_isqrt_exhaustive():
+    g = isqrt(3)  # 6-bit radicand -> 3-bit root
+    assert g.n_pis == 6 and g.n_pos == 3
+    tables = po_truth_tables(g)
+    for x in range(64):
+        assert outputs_at(tables, x) == math.isqrt(x), f"sqrt({x})"
+    check(g)
+
+
+def test_hypotenuse_exhaustive():
+    g = hypotenuse(3)
+    assert g.n_pis == 6 and g.n_pos == 4
+    tables = po_truth_tables(g)
+    for x in range(8):
+        for y in range(8):
+            expected = math.isqrt(x * x + y * y)
+            assert outputs_at(tables, x | (y << 3)) == expected, f"hyp({x},{y})"
+    check(g)
+
+
+def test_log2_monotone_and_integer_part():
+    g = log2_approx(8)
+    assert g.n_pis == 8 and g.n_pos == 8
+    tables = po_truth_tables(g)
+    frac_bits = 8 - 3
+    for x in range(1, 256):
+        value = outputs_at(tables, x)
+        int_part = value >> frac_bits
+        assert int_part == int(math.log2(x)), f"log2({x})"
+    assert outputs_at(tables, 0) == 0
+    check(g)
+
+
+def test_log2_fraction_accuracy():
+    g = log2_approx(8)
+    tables = po_truth_tables(g)
+    frac_bits = 8 - 3
+    worst = 0.0
+    for x in range(1, 256):
+        value = outputs_at(tables, x) / (1 << frac_bits)
+        worst = max(worst, abs(value - math.log2(x)))
+    assert worst < 0.1, f"worst-case log2 error {worst}"
+
+
+def test_mac_exhaustive():
+    g = mac(2)
+    tables = po_truth_tables(g)
+    for a in range(4):
+        for b in range(4):
+            for c in range(4):
+                index = a | (b << 2) | (c << 4)
+                assert outputs_at(tables, index) == a * b + c
+    check(g)
+
+
+def test_alu_ops():
+    g = alu(3)
+    tables = po_truth_tables(g)
+    reference = [
+        lambda a, b: (a + b) & 7,
+        lambda a, b: (a - b) & 7,
+        lambda a, b: a & b,
+        lambda a, b: a | b,
+        lambda a, b: a ^ b,
+        lambda a, b: int(a < b),
+        lambda a, b: (~a) & 7,
+        lambda a, b: b,
+    ]
+    for op in range(8):
+        for a in range(8):
+            for b in range(8):
+                index = a | (b << 3) | (op << 6)
+                assert outputs_at(tables, index) == reference[op](a, b), (op, a, b)
+    check(g)
+
+
+@pytest.mark.parametrize("width", [4, 6])
+def test_generator_sizes_scale(width):
+    small = multiplier(width)
+    bigger = multiplier(width * 2)
+    assert bigger.n_ands > 3 * small.n_ands  # array multiplier ~ O(w^2)
+
+
+def test_divider_depth_is_linear():
+    d4 = divider(4)
+    d8 = divider(8)
+    assert d8.max_level() > 1.7 * d4.max_level()

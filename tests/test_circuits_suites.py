@@ -1,0 +1,116 @@
+"""Tests for the benchmark suites (EPFL-like, industrial, synthetic)."""
+
+import pytest
+
+from repro.aig import check
+from repro.circuits import (
+    EPFL_NAMES,
+    SYNTHETIC_SIZES,
+    epfl_circuit,
+    epfl_suite,
+    industrial_design,
+    industrial_profiles,
+    random_aig,
+    synthetic_circuit,
+)
+from repro.errors import ReproError
+
+
+class TestEpflSuite:
+    def test_tiny_suite_builds_and_validates(self):
+        suite = epfl_suite("tiny")
+        assert set(suite) == set(EPFL_NAMES)
+        for name, g in suite.items():
+            assert g.name == name
+            assert g.n_ands > 20
+            check(g)
+
+    def test_interface_structure_matches_paper(self):
+        suite = epfl_suite("tiny")
+        # div: 2w PIs -> 2w POs; sqrt: 2w PIs -> w POs; square: w -> 2w.
+        assert suite["div"].n_pis == suite["div"].n_pos
+        assert suite["sqrt"].n_pis == 2 * suite["sqrt"].n_pos
+        assert 2 * suite["square"].n_pis == suite["square"].n_pos
+        assert suite["multiplier"].n_pis == suite["multiplier"].n_pos
+
+    def test_depth_character(self):
+        suite = epfl_suite("tiny")
+        # The restoring circuits are the deep ones, as in Table I.
+        assert suite["div"].max_level() > suite["multiplier"].max_level()
+        assert suite["sqrt"].max_level() > suite["square"].max_level()
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ReproError):
+            epfl_circuit("adder")
+        with pytest.raises(ReproError):
+            epfl_circuit("div", scale="gigantic")
+
+    def test_scales_monotone(self):
+        small = epfl_circuit("multiplier", "tiny")
+        big = epfl_circuit("multiplier", "default")
+        assert big.n_ands > 2 * small.n_ands
+
+
+class TestIndustrial:
+    def test_profiles_cover_ten_designs(self):
+        profiles = industrial_profiles()
+        assert len(profiles) == 10
+        assert [p.index for p in profiles] == list(range(1, 11))
+
+    def test_design_determinism(self):
+        a = industrial_design(3)
+        b = industrial_design(3)
+        assert a.n_ands == b.n_ands
+        assert a.n_pis == b.n_pis
+        assert a.pos == b.pos
+
+    def test_design_shape(self):
+        g = industrial_design(8)
+        check(g)
+        profile = industrial_profiles()[7]
+        assert g.max_level() <= profile.max_level + 15
+        assert g.n_pis > 50  # PI-heavy, like Table II
+
+    def test_size_factor(self):
+        small = industrial_design(4, size_factor=0.5)
+        full = industrial_design(4, size_factor=1.0)
+        assert small.n_ands < full.n_ands
+
+    def test_index_bounds(self):
+        with pytest.raises(ValueError):
+            industrial_design(0)
+        with pytest.raises(ValueError):
+            industrial_design(11)
+
+
+class TestSynthetic:
+    def test_scaled_size(self):
+        g = synthetic_circuit("sixteen", scale_divisor=4000)
+        expected = SYNTHETIC_SIZES["sixteen"] // 4000
+        assert 0.8 * expected < g.n_ands < 1.4 * expected
+        check(g)
+
+    def test_determinism(self):
+        a = synthetic_circuit("twenty", scale_divisor=8000)
+        b = synthetic_circuit("twenty", scale_divisor=8000)
+        assert a.n_ands == b.n_ands
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_circuit("thirty")
+
+    def test_no_dangling_nodes(self):
+        g = synthetic_circuit("sixteen", scale_divisor=8000)
+        for node in g.and_ids():
+            assert g.n_refs(node) > 0, f"dangling node {node}"
+
+
+class TestRandomAig:
+    def test_locality_parameter(self):
+        uniform = random_aig(20, 400, 10, seed=1, locality=0)
+        local = random_aig(20, 400, 10, seed=1, locality=30)
+        check(uniform)
+        check(local)
+        assert local.max_level() > 5  # locality produces chained structure
+        # Narrow windows saturate under strashing, so these stay small.
+        assert uniform.n_ands > 30 and local.n_ands > 30

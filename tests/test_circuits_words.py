@@ -1,0 +1,182 @@
+"""Tests for the word-level circuit builder against Python int semantics."""
+
+import pytest
+
+from repro.aig import AIG, check
+from repro.circuits.words import Word
+from repro.errors import ReproError
+from repro.verify import po_truth_tables
+
+
+def evaluate(g, assignments):
+    """Evaluate all POs of g under a dict {pi_index: bool}; returns bits."""
+    from repro.aig import cone_truth, full_mask, lit_node
+
+    index = 0
+    for i in range(g.n_pis):
+        if assignments.get(i, False):
+            index |= 1 << i
+    outs = []
+    tables = po_truth_tables(g)
+    for tt in tables:
+        outs.append(tt >> index & 1)
+    return outs
+
+
+def word_value(bits):
+    return sum(b << i for i, b in enumerate(bits))
+
+
+def exhaustive_binary_op(build, width, reference):
+    """Check a 2-operand word op against a Python reference, exhaustively."""
+    g = AIG()
+    a = Word.inputs(g, width, "a")
+    b = Word.inputs(g, width, "b")
+    build(g, a, b).outputs()
+    tables = po_truth_tables(g)
+    n = 2 * width
+    mask = (1 << width) - 1
+    for x in range(1 << width):
+        for y in range(1 << width):
+            index = x | (y << width)
+            got = word_value([tt >> index & 1 for tt in tables])
+            assert got == reference(x, y), f"x={x} y={y}: {got}"
+    check(g)
+
+
+def test_const_and_inputs():
+    g = AIG()
+    w = Word.const(g, 0b1011, 4)
+    assert [b for b in w.bits] == [1, 1, 0, 1]  # LSB first
+    x = Word.inputs(g, 3)
+    assert g.n_pis == 3
+    assert x.width == 3
+
+
+def test_add_exhaustive():
+    exhaustive_binary_op(
+        lambda g, a, b: (a + b), 3, lambda x, y: (x + y) & 0b111
+    )
+
+
+def test_add_with_carry_out():
+    g = AIG()
+    a = Word.inputs(g, 3, "a")
+    b = Word.inputs(g, 3, "b")
+    total, carry = a.add_with_carry(b)
+    total.outputs()
+    g.add_po(carry, "c")
+    tables = po_truth_tables(g)
+    for x in range(8):
+        for y in range(8):
+            index = x | (y << 3)
+            got = word_value([tt >> index & 1 for tt in tables])
+            assert got == x + y
+
+
+def test_sub_exhaustive():
+    exhaustive_binary_op(
+        lambda g, a, b: (a - b), 3, lambda x, y: (x - y) & 0b111
+    )
+
+
+def test_mul_exhaustive():
+    exhaustive_binary_op(lambda g, a, b: a * b, 3, lambda x, y: x * y)
+
+
+def test_bitwise_ops():
+    exhaustive_binary_op(lambda g, a, b: a & b, 3, lambda x, y: x & y)
+    exhaustive_binary_op(lambda g, a, b: a | b, 3, lambda x, y: x | y)
+    exhaustive_binary_op(lambda g, a, b: a ^ b, 3, lambda x, y: x ^ y)
+
+
+def test_invert_and_zext():
+    g = AIG()
+    a = Word.inputs(g, 3, "a")
+    (~a).zext(5).outputs()
+    tables = po_truth_tables(g)
+    for x in range(8):
+        got = word_value([tt >> x & 1 for tt in tables])
+        assert got == (~x & 0b111)
+
+
+def test_comparisons():
+    g = AIG()
+    a = Word.inputs(g, 3, "a")
+    b = Word.inputs(g, 3, "b")
+    g.add_po(a.ult(b), "lt")
+    g.add_po(a.uge(b), "ge")
+    g.add_po(a.eq(b), "eq")
+    tables = po_truth_tables(g)
+    for x in range(8):
+        for y in range(8):
+            index = x | (y << 3)
+            lt, ge, eq = (tt >> index & 1 for tt in tables)
+            assert lt == int(x < y)
+            assert ge == int(x >= y)
+            assert eq == int(x == y)
+
+
+def test_reductions_and_is_zero():
+    g = AIG()
+    a = Word.inputs(g, 4, "a")
+    g.add_po(a.is_zero())
+    g.add_po(a.reduce_or())
+    g.add_po(a.reduce_xor())
+    tables = po_truth_tables(g)
+    for x in range(16):
+        z, o, p = (tt >> x & 1 for tt in tables)
+        assert z == int(x == 0)
+        assert o == int(x != 0)
+        assert p == bin(x).count("1") % 2
+
+
+def test_mux():
+    g = AIG()
+    a = Word.inputs(g, 2, "a")
+    b = Word.inputs(g, 2, "b")
+    s = g.add_pi("s")
+    a.mux(s, b).outputs()
+    tables = po_truth_tables(g)
+    for x in range(4):
+        for y in range(4):
+            for sel in range(2):
+                index = x | (y << 2) | (sel << 4)
+                got = word_value([tt >> index & 1 for tt in tables])
+                assert got == (y if sel else x)
+
+
+def test_barrel_shifts():
+    g = AIG()
+    a = Word.inputs(g, 4, "a")
+    amount = Word.inputs(g, 2, "s")
+    a.barrel_shift_left(amount).outputs("l")
+    a.barrel_shift_right(amount).outputs("r")
+    tables = po_truth_tables(g)
+    for x in range(16):
+        for s in range(4):
+            index = x | (s << 4)
+            bits = [tt >> index & 1 for tt in tables]
+            left = word_value(bits[:4])
+            right = word_value(bits[4:])
+            assert left == (x << s) & 0xF
+            assert right == x >> s
+
+
+def test_width_mismatch_raises():
+    g = AIG()
+    a = Word.inputs(g, 3)
+    b = Word.inputs(g, 4)
+    with pytest.raises(ReproError):
+        _ = a & b
+    with pytest.raises(ReproError):
+        _ = a + b
+
+
+def test_slice_concat_shift():
+    g = AIG()
+    a = Word.inputs(g, 4, "a")
+    assert a.slice(1, 3).width == 2
+    assert a.concat(Word.const(g, 0, 2)).width == 6
+    assert a.shifted_left(3).width == 7
+    assert a.trunc(2).width == 2

@@ -1,0 +1,74 @@
+"""Tests for k-feasible cut enumeration."""
+
+from repro.aig import AIG, cone_truth, lit_node
+from repro.cuts import cut_cone, enumerate_cuts, node_cuts
+
+from .util import random_aig
+
+
+def test_trivial_cuts_present():
+    g = random_aig(5, 20, 2, seed=0)
+    cuts = enumerate_cuts(g, k=4)
+    for node in g.and_ids():
+        assert frozenset({node}) in cuts[node]
+    for pi in g.pis:
+        assert cuts[pi] == [frozenset({pi})]
+
+
+def test_fanin_cut_present():
+    g = AIG()
+    a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+    x = g.add_and(a, b)
+    y = g.add_and(x, c)
+    g.add_po(y)
+    cuts = enumerate_cuts(g, k=4)
+    ny = lit_node(y)
+    assert frozenset({lit_node(x), lit_node(c)}) in cuts[ny]
+    assert frozenset({lit_node(a), lit_node(b), lit_node(c)}) in cuts[ny]
+
+
+def test_cut_size_bounded():
+    g = random_aig(8, 80, 4, seed=2)
+    for k in (3, 4, 5):
+        cuts = enumerate_cuts(g, k=k)
+        for node, node_cut_list in cuts.items():
+            for cut in node_cut_list:
+                assert len(cut) <= k
+
+
+def test_no_dominated_cuts():
+    g = random_aig(7, 60, 3, seed=4)
+    cuts = enumerate_cuts(g, k=4, max_cuts=100)
+    for node in g.and_ids():
+        nontrivial = node_cuts(g, node, cuts)
+        for i, c1 in enumerate(nontrivial):
+            for c2 in nontrivial[i + 1 :]:
+                assert not (c1 < c2 or c2 < c1)
+
+
+def test_cuts_are_real_cuts():
+    """Truth table over every enumerated cut must be computable."""
+    g = random_aig(6, 50, 3, seed=6)
+    cuts = enumerate_cuts(g, k=4)
+    for node in g.and_ids()[:25]:
+        for cut in node_cuts(g, node, cuts):
+            tt = cone_truth(g, node, sorted(cut))
+            assert 0 <= tt < (1 << (1 << len(cut)))
+
+
+def test_cut_cone():
+    g = AIG()
+    a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+    x = g.add_and(a, b)
+    y = g.add_and(x, c)
+    g.add_po(y)
+    cone = cut_cone(g, lit_node(y), frozenset({lit_node(a), lit_node(b), lit_node(c)}))
+    assert cone == sorted([lit_node(x), lit_node(y)])
+
+
+def test_max_cuts_truncation():
+    g = random_aig(8, 80, 4, seed=8)
+    cuts = enumerate_cuts(g, k=4, max_cuts=3)
+    for node in g.and_ids():
+        # trivial cut + at most 3 merged cuts
+        assert len(cuts[node]) <= 4

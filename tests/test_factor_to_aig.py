@@ -1,0 +1,157 @@
+"""Tests for strash-aware counting and building of factored forms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import AIG, check, cone_truth, lit_node, lit_not
+from repro.factor import FactorTree, build_tree, count_tree, factor
+from repro.tt import isop_exact
+
+
+def fresh_graph(n_leaves):
+    g = AIG()
+    leaves = [g.add_pi() for _ in range(n_leaves)]
+    return g, leaves
+
+
+def test_count_empty_and_constants():
+    g, leaves = fresh_graph(2)
+    result = count_tree(g, FactorTree.const0(), leaves, set(), 10)
+    assert result.cost == 0
+    assert result.existing_lit == 0
+    result = count_tree(g, FactorTree.const1(), leaves, set(), 10)
+    assert result.existing_lit == 1
+
+
+def test_count_single_literal_is_free():
+    g, leaves = fresh_graph(2)
+    result = count_tree(g, FactorTree.lit(1, True), leaves, set(), 10)
+    assert result.cost == 0
+    assert result.existing_lit == lit_not(leaves[1])
+
+
+def test_count_fresh_and():
+    g, leaves = fresh_graph(2)
+    tree = FactorTree.and_([FactorTree.lit(0), FactorTree.lit(1)])
+    result = count_tree(g, tree, leaves, set(), 10)
+    assert result.cost == 1
+    assert result.root_level == 1
+    assert result.existing_lit is None
+
+
+def test_count_reuses_existing_node():
+    g, leaves = fresh_graph(2)
+    existing = g.add_and(leaves[0], leaves[1])
+    g.add_po(existing)
+    tree = FactorTree.and_([FactorTree.lit(0), FactorTree.lit(1)])
+    result = count_tree(g, tree, leaves, set(), 10)
+    assert result.cost == 0
+    assert result.existing_lit == existing
+
+
+def test_count_respects_forbidden_set():
+    g, leaves = fresh_graph(2)
+    existing = g.add_and(leaves[0], leaves[1])
+    g.add_po(existing)
+    tree = FactorTree.and_([FactorTree.lit(0), FactorTree.lit(1)])
+    result = count_tree(g, tree, leaves, {lit_node(existing)}, 10)
+    assert result.cost == 1
+
+
+def test_count_budget_abort():
+    g, leaves = fresh_graph(4)
+    tree = FactorTree.and_([FactorTree.lit(i) for i in range(4)])
+    assert count_tree(g, tree, leaves, set(), 2) is None
+    assert count_tree(g, tree, leaves, set(), 3) is not None
+
+
+def test_count_shares_repeated_subtrees():
+    g, leaves = fresh_graph(3)
+    ab = FactorTree.and_([FactorTree.lit(0), FactorTree.lit(1)])
+    # (a&b&c) + (a&b): the a&b node is shared in the virtual strash.
+    tree = FactorTree.or_([FactorTree.and_([ab, FactorTree.lit(2)]), ab])
+    result = count_tree(g, tree, leaves, set(), 10)
+    # a&b, (a&b)&c, or-node = 3, not 4.
+    assert result.cost == 3
+
+
+def test_build_simple_and_matches_count():
+    g, leaves = fresh_graph(3)
+    tree = factor(isop_exact(0b10000000, 3), n_vars=3)  # a&b&c
+    predicted = count_tree(g, tree, leaves, set(), 10)
+    before = g.n_ands
+    root = build_tree(g, tree, leaves, avoid_root=-1)
+    assert g.n_ands - before == predicted.cost
+    tt = cone_truth(g, lit_node(root), [lit_node(l) for l in leaves])
+    assert (tt ^ (0xFF if root & 1 else 0)) == 0b10000000
+    check(g)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.integers(0, 2**16 - 1))
+def test_build_tree_function_correct(tt):
+    g, leaves = fresh_graph(4)
+    tree = factor(isop_exact(tt, 4), n_vars=4)
+    root = build_tree(g, tree, leaves, avoid_root=-1)
+    assert root is not None
+    built = cone_truth(g, lit_node(root), [lit_node(l) for l in leaves])
+    if root & 1:
+        built ^= 0xFFFF
+    assert built == tt
+    check(g)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 2**16 - 1))
+def test_count_matches_build_on_fresh_graph(tt):
+    """With nothing to reuse and nothing forbidden, cost == nodes built."""
+    g, leaves = fresh_graph(4)
+    tree = factor(isop_exact(tt, 4), n_vars=4)
+    predicted = count_tree(g, tree, leaves, set(), 1 << 20)
+    before = g.n_ands
+    root = build_tree(g, tree, leaves, avoid_root=-1)
+    assert root is not None
+    assert g.n_ands - before == predicted.cost
+
+
+def test_build_poison_abort_restores_graph():
+    # The function being built IS the avoid_root node: build must abort
+    # and leave no garbage behind.
+    g, leaves = fresh_graph(2)
+    existing = g.add_and(leaves[0], leaves[1])
+    g.add_po(existing)
+    tree = FactorTree.and_([FactorTree.lit(0), FactorTree.lit(1)])
+    nodes_before = g.n_ands
+    root = build_tree(g, tree, leaves, avoid_root=lit_node(existing))
+    assert root is None
+    assert g.n_ands == nodes_before
+    check(g)
+
+
+def test_build_poison_cleanup_of_partial_work():
+    # Tree = (a&b) | c where a&b resolves to avoid_root: the OR wrapper
+    # must not leave dangling nodes after the abort.
+    g, leaves = fresh_graph(3)
+    existing = g.add_and(leaves[0], leaves[1])
+    g.add_po(existing)
+    tree = FactorTree.or_(
+        [
+            FactorTree.and_([FactorTree.lit(0), FactorTree.lit(1)]),
+            FactorTree.lit(2),
+        ]
+    )
+    before = g.n_ands
+    root = build_tree(g, tree, leaves, avoid_root=lit_node(existing))
+    assert root is None
+    assert g.n_ands == before
+    check(g)
+
+
+def test_or_tree_via_demorgan():
+    g, leaves = fresh_graph(2)
+    tree = FactorTree.or_([FactorTree.lit(0), FactorTree.lit(1)])
+    root = build_tree(g, tree, leaves, avoid_root=-1)
+    tt = cone_truth(g, lit_node(root), [lit_node(l) for l in leaves])
+    if root & 1:
+        tt ^= 0xF
+    assert tt == 0b1110

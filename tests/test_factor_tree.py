@@ -1,0 +1,60 @@
+"""Tests for factored-form trees."""
+
+from repro.factor import FactorTree
+from repro.tt import cube_from_lits, lit_index
+from repro.aig import full_mask, var_mask
+
+
+def test_literal_tree():
+    t = FactorTree.lit(2, negative=True)
+    assert t.n_literals() == 1
+    assert t.support() == {2}
+    n = 3
+    assert t.eval_tt(n) == (~var_mask(2, n) & full_mask(n))
+    assert t.to_string() == "!c"
+
+
+def test_constants():
+    assert FactorTree.const0().eval_tt(2) == 0
+    assert FactorTree.const1().eval_tt(2) == 0b1111
+    assert FactorTree.const0().n_literals() == 0
+
+
+def test_and_or_semantics():
+    n = 2
+    a, b = FactorTree.lit(0), FactorTree.lit(1)
+    assert FactorTree.and_([a, b]).eval_tt(n) == 0b1000
+    assert FactorTree.or_([a, b]).eval_tt(n) == 0b1110
+
+
+def test_flattening_and_constant_folding():
+    a, b, c = FactorTree.lit(0), FactorTree.lit(1), FactorTree.lit(2)
+    nested = FactorTree.and_([a, FactorTree.and_([b, c])])
+    assert len(nested.children) == 3
+    assert FactorTree.and_([a, FactorTree.const1()]) == a
+    assert FactorTree.and_([a, FactorTree.const0()]).kind == "const0"
+    assert FactorTree.or_([a, FactorTree.const1()]).kind == "const1"
+    assert FactorTree.or_([a, FactorTree.const0()]) == a
+    assert FactorTree.and_([]).kind == "const1"
+    assert FactorTree.or_([]).kind == "const0"
+
+
+def test_from_cube_and_sop():
+    n = 3
+    cube = cube_from_lits([lit_index(0, False), lit_index(1, True)])
+    t = FactorTree.from_cube(cube)
+    assert t.n_literals() == 2
+    assert t.eval_tt(n) == (var_mask(0, n) & ~var_mask(1, n) & full_mask(n))
+    sop = FactorTree.from_sop([cube, cube_from_lits([lit_index(2, False)])])
+    assert sop.kind == "or"
+    assert sop.n_literals() == 3
+    assert FactorTree.from_cube(0).kind == "const1"
+    assert FactorTree.from_sop([]).kind == "const0"
+
+
+def test_to_string():
+    a, b, c = FactorTree.lit(0), FactorTree.lit(1, True), FactorTree.lit(2)
+    t = FactorTree.or_([FactorTree.and_([a, b]), c])
+    assert t.to_string() == "a!b + c"
+    t2 = FactorTree.and_([FactorTree.or_([a, c]), b])
+    assert t2.to_string() == "(a + c)!b"

@@ -1,0 +1,127 @@
+"""Tests for the NumPy MLP: shapes, parameter count, backprop, fusion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrainingError
+from repro.ml import MLP, PAPER_LAYERS
+
+
+def test_paper_architecture_has_325_parameters():
+    """The paper states 6->12->12->6->1 with 325 parameters total."""
+    model = MLP(PAPER_LAYERS)
+    assert model.n_parameters == 325
+
+
+def test_forward_shapes():
+    model = MLP((6, 4, 1), seed=1)
+    x = np.random.default_rng(0).normal(size=(10, 6))
+    logits = model.forward_logits(x)
+    probs = model.predict_proba(x)
+    assert logits.shape == (10,)
+    assert probs.shape == (10,)
+    assert np.all((probs > 0) & (probs < 1))
+
+
+def test_forward_rejects_bad_shapes():
+    model = MLP((6, 4, 1))
+    with pytest.raises(TrainingError):
+        model.forward_logits(np.zeros((5, 3)))
+    with pytest.raises(TrainingError):
+        MLP((6,))
+    with pytest.raises(TrainingError):
+        MLP((6, 4, 2))  # output must be a single unit
+
+
+def test_xavier_init_bounds_and_zero_bias():
+    model = MLP((6, 12, 1), seed=3)
+    bound0 = np.sqrt(6.0 / (6 + 12))
+    assert np.all(np.abs(model.weights[0]) <= bound0)
+    assert np.all(model.biases[0] == 0)
+    assert np.all(model.biases[1] == 0)
+
+
+def test_determinism_by_seed():
+    a, b = MLP(seed=7), MLP(seed=7)
+    c = MLP(seed=8)
+    assert all(np.array_equal(x, y) for x, y in zip(a.weights, b.weights))
+    assert not all(np.array_equal(x, y) for x, y in zip(a.weights, c.weights))
+
+
+def test_backprop_matches_finite_differences():
+    rng = np.random.default_rng(0)
+    model = MLP((3, 5, 4, 1), seed=2)
+    x = rng.normal(size=(8, 3))
+    y = rng.integers(0, 2, size=8).astype(float)
+
+    def loss_value():
+        logits = model.forward_logits(x)
+        return float(np.mean(np.logaddexp(0, logits) - y * logits))
+
+    inputs, logits = model.forward_cached(x)
+    probs = 1 / (1 + np.exp(-logits))
+    dlogits = (probs - y) / len(y)
+    grad_w, grad_b = model.backprop(inputs, dlogits)
+
+    eps = 1e-6
+    for layer in range(len(model.weights)):
+        w = model.weights[layer]
+        for index in [(0, 0), (w.shape[0] - 1, w.shape[1] - 1)]:
+            original = w[index]
+            w[index] = original + eps
+            up = loss_value()
+            w[index] = original - eps
+            down = loss_value()
+            w[index] = original
+            numeric = (up - down) / (2 * eps)
+            assert abs(numeric - grad_w[layer][index]) < 1e-5, (layer, index)
+        b = model.biases[layer]
+        original = b[0]
+        b[0] = original + eps
+        up = loss_value()
+        b[0] = original - eps
+        down = loss_value()
+        b[0] = original
+        numeric = (up - down) / (2 * eps)
+        assert abs(numeric - grad_b[layer][0]) < 1e-5
+
+
+def test_parameter_roundtrip():
+    model = MLP((6, 4, 1), seed=0)
+    params = model.get_parameters()
+    clone = MLP((6, 4, 1), seed=99)
+    clone.set_parameters([p.copy() for p in params])
+    x = np.random.default_rng(1).normal(size=(5, 6))
+    assert np.allclose(model.forward_logits(x), clone.forward_logits(x))
+
+
+def test_copy_is_independent():
+    model = MLP((6, 4, 1), seed=0)
+    dup = model.copy()
+    dup.weights[0][0, 0] += 1.0
+    assert model.weights[0][0, 0] != dup.weights[0][0, 0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_fused_normalization_equivalence(seed):
+    """fused(raw) == raw_model((raw - mean)/std) to float precision."""
+    rng = np.random.default_rng(seed)
+    model = MLP((6, 5, 1), seed=seed)
+    mean = rng.normal(size=6) * 10
+    std = rng.uniform(0.5, 5.0, size=6)
+    fused = model.fuse_normalization(mean, std)
+    x = rng.normal(size=(16, 6)) * 20
+    expected = model.forward_logits((x - mean) / std)
+    got = fused.forward_logits(x)
+    assert np.allclose(expected, got, atol=1e-9)
+
+
+def test_fuse_normalization_validation():
+    model = MLP((6, 5, 1))
+    with pytest.raises(TrainingError):
+        model.fuse_normalization(np.zeros(5), np.ones(5))
+    with pytest.raises(TrainingError):
+        model.fuse_normalization(np.zeros(6), np.zeros(6))

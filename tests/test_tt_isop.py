@@ -1,0 +1,83 @@
+"""Tests for Minato-Morreale ISOP extraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TruthTableError
+from repro.tt import cube_tt, isop, isop_exact, sop_tt
+from repro.aig import full_mask
+
+
+def test_constants():
+    assert isop_exact(0, 3) == []
+    assert isop_exact(full_mask(3), 3) == [0]
+
+
+def test_single_variable():
+    n = 2
+    cubes = isop_exact(0b1010, n)  # f = a
+    assert len(cubes) == 1
+    assert sop_tt(cubes, n) == 0b1010
+
+
+def test_and_or_xor():
+    n = 2
+    assert len(isop_exact(0b1000, n)) == 1  # a & b: one cube
+    assert len(isop_exact(0b1110, n)) == 2  # a + b: two single-literal cubes
+    xor_cubes = isop_exact(0b0110, n)
+    assert len(xor_cubes) == 2
+    assert sop_tt(xor_cubes, n) == 0b0110
+
+
+def test_majority():
+    n = 3
+    maj = 0b11101000  # maj(a,b,c)
+    cubes = isop_exact(maj, n)
+    assert sop_tt(cubes, n) == maj
+    assert len(cubes) == 3  # ab + ac + bc
+
+
+def test_dont_cares_shrink_cover():
+    n = 2
+    # onset {ab}, dc {a!b}: cover may pick the single-literal cube "a".
+    cubes = isop(0b1000, 0b1010, n)
+    tt = sop_tt(cubes, n)
+    assert tt & 0b1000 == 0b1000  # covers onset
+    assert tt & ~0b1010 == 0  # stays within upper bound
+    assert len(cubes) == 1
+
+
+def test_bad_interval_rejected():
+    with pytest.raises(TruthTableError):
+        isop(0b1111, 0b0111, 2)
+
+
+@settings(max_examples=300)
+@given(st.integers(0, 2**16 - 1))
+def test_isop_exact_covers_exactly(tt):
+    n = 4
+    cubes = isop_exact(tt, n)
+    assert sop_tt(cubes, n) == tt
+
+
+@settings(max_examples=150)
+@given(st.integers(0, 2**8 - 1), st.integers(0, 2**8 - 1))
+def test_isop_interval_contract(onset, extra):
+    n = 3
+    upper = onset | extra
+    cubes = isop(onset, upper, n)
+    tt = sop_tt(cubes, n)
+    assert tt & onset == onset
+    assert tt & ~upper & full_mask(n) == 0
+
+
+@settings(max_examples=100)
+@given(st.integers(0, 2**16 - 1))
+def test_isop_irredundant(tt):
+    # Dropping any single cube must uncover part of the onset.
+    n = 4
+    cubes = isop_exact(tt, n)
+    for i in range(len(cubes)):
+        rest = cubes[:i] + cubes[i + 1 :]
+        assert sop_tt(rest, n) != tt or cube_tt(cubes[i], n) & tt == 0

@@ -1,0 +1,84 @@
+"""Tests for NPN canonicalization of 4-variable functions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tt import (
+    apply_transform,
+    enumerate_npn_classes,
+    invert_transform,
+    npn_canonize,
+    npn_orbit,
+)
+
+
+def test_identity_transform():
+    identity = ((0, 1, 2, 3), 0, False)
+    for tt in (0x0000, 0xFFFF, 0x8888, 0xBEEF):
+        assert apply_transform(tt, identity) == tt
+
+
+def test_output_flip():
+    t = ((0, 1, 2, 3), 0, True)
+    assert apply_transform(0x0000, t) == 0xFFFF
+    assert apply_transform(0xBEEF, t) == 0xBEEF ^ 0xFFFF
+
+
+def test_input_permutation():
+    # f = x0 over 4 vars has tt 0xAAAA; permuting x0<->x1 gives x1 = 0xCCCC.
+    t = ((1, 0, 2, 3), 0, False)
+    assert apply_transform(0xAAAA, t) == 0xCCCC
+
+
+def test_input_flip():
+    # flipping x0: f = x0 becomes !x0
+    t = ((0, 1, 2, 3), 0b0001, False)
+    assert apply_transform(0xAAAA, t) == 0x5555
+
+
+@settings(max_examples=200)
+@given(st.integers(0, 0xFFFF))
+def test_invert_transform_roundtrip(tt):
+    rng = random.Random(tt)
+    perm = tuple(rng.sample(range(4), 4))
+    transform = (perm, rng.randrange(16), bool(rng.randrange(2)))
+    transformed = apply_transform(tt, transform)
+    assert apply_transform(transformed, invert_transform(transform)) == tt
+
+
+@settings(max_examples=100)
+@given(st.integers(0, 0xFFFF))
+def test_canonize_reconstructs(tt):
+    canon, transform = npn_canonize(tt)
+    assert apply_transform(canon, transform) == tt
+    assert canon <= tt
+
+
+@settings(max_examples=50)
+@given(st.integers(0, 0xFFFF))
+def test_canonize_invariant_on_orbit(tt):
+    canon, _ = npn_canonize(tt)
+    rng = random.Random(tt)
+    perm = tuple(rng.sample(range(4), 4))
+    transform = (perm, rng.randrange(16), bool(rng.randrange(2)))
+    other = apply_transform(tt, transform)
+    canon2, _ = npn_canonize(other)
+    assert canon2 == canon
+
+
+def test_orbit_contains_self_and_complement():
+    orbit = npn_orbit(0x8000)
+    assert 0x8000 in orbit
+    assert (0x8000 ^ 0xFFFF) in orbit
+
+
+@pytest.mark.slow
+def test_222_npn_classes():
+    classes = enumerate_npn_classes()
+    assert len(classes) == 222
+    # Every representative is the minimum of its own orbit.
+    for rep in random.Random(0).sample(classes, 20):
+        assert rep == min(npn_orbit(rep))

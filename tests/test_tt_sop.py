@@ -1,0 +1,94 @@
+"""Tests for the cube/SOP representation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FactoringError
+from repro.tt import (
+    check_sop,
+    cube_from_lits,
+    cube_is_contradictory,
+    cube_lits,
+    cube_size,
+    cube_tt,
+    lit_index,
+    sop_common_cube,
+    sop_is_cube_free,
+    sop_literal_count,
+    sop_literal_frequencies,
+    sop_make_cube_free,
+    sop_to_string,
+    sop_tt,
+)
+from repro.aig import full_mask, var_mask
+
+
+def lits(*pairs):
+    return cube_from_lits([lit_index(v, neg) for v, neg in pairs])
+
+
+def test_cube_roundtrip():
+    cube = lits((0, False), (2, True))
+    assert cube_lits(cube) == [lit_index(0, False), lit_index(2, True)]
+    assert cube_size(cube) == 2
+
+
+def test_cube_tt():
+    n = 3
+    cube = lits((0, False), (1, True))  # a & !b
+    expected = var_mask(0, n) & ~var_mask(1, n) & full_mask(n)
+    assert cube_tt(cube, n) == expected
+    assert cube_tt(0, n) == full_mask(n)  # empty cube = const 1
+
+
+def test_sop_tt_or_of_cubes():
+    n = 2
+    sop = [lits((0, False)), lits((1, False))]  # a + b
+    assert sop_tt(sop, n) == (var_mask(0, n) | var_mask(1, n))
+    assert sop_tt([], n) == 0
+
+
+def test_contradictory_cube_detection():
+    assert cube_is_contradictory(lits((1, False), (1, True)))
+    assert not cube_is_contradictory(lits((1, False), (2, True)))
+
+
+def test_literal_statistics():
+    sop = [lits((0, False), (1, False)), lits((0, False), (2, True))]
+    assert sop_literal_count(sop) == 4
+    freq = sop_literal_frequencies(sop)
+    assert freq[lit_index(0, False)] == 2
+    assert freq[lit_index(1, False)] == 1
+
+
+def test_common_cube_and_cube_free():
+    sop = [lits((0, False), (1, False)), lits((0, False), (2, False))]
+    common = sop_common_cube(sop)
+    assert cube_lits(common) == [lit_index(0, False)]
+    assert not sop_is_cube_free(sop)
+    cube, rest = sop_make_cube_free(sop)
+    assert cube == common
+    assert sop_is_cube_free(rest)
+
+
+def test_to_string():
+    sop = [lits((0, False), (1, True)), lits((2, False))]
+    assert sop_to_string(sop, 3) == "c + a!b"
+    assert sop_to_string([], 3) == "0"
+    assert sop_to_string([0], 3) == "1"
+
+
+def test_check_sop_rejects_bad_cubes():
+    with pytest.raises(FactoringError):
+        check_sop([lits((5, False))], 3)
+    with pytest.raises(FactoringError):
+        check_sop([lits((1, False), (1, True))], 3)
+
+
+@given(st.lists(st.integers(0, 2**6 - 1).filter(
+    lambda c: not cube_is_contradictory(c)), max_size=6))
+def test_common_cube_divides_all(cubes):
+    common = sop_common_cube(cubes)
+    for cube in cubes:
+        assert cube & common == common

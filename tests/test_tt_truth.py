@@ -1,0 +1,81 @@
+"""Tests for truth-table primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TruthTableError
+from repro.tt import (
+    cofactor0,
+    cofactor1,
+    depends_on,
+    expand_tt,
+    is_const0,
+    is_const1,
+    ones_count,
+    tt_from_hex,
+    tt_not,
+    tt_support,
+    tt_to_hex,
+)
+from repro.aig import full_mask, var_mask
+
+
+def test_cofactors_of_variable():
+    n = 3
+    tt = var_mask(1, n)  # f = b
+    assert cofactor0(tt, 1, n) == 0
+    assert cofactor1(tt, 1, n) == full_mask(n)
+    assert cofactor0(tt, 0, n) == tt  # independent of a
+
+
+def test_depends_on_and_support():
+    n = 3
+    tt = var_mask(0, n) & var_mask(2, n)  # a & c
+    assert depends_on(tt, 0, n)
+    assert not depends_on(tt, 1, n)
+    assert tt_support(tt, n) == [0, 2]
+
+
+def test_counting_and_constants():
+    n = 2
+    assert ones_count(0b1000, n) == 1
+    assert is_const0(0, n)
+    assert is_const1(0b1111, n)
+    assert not is_const1(0b0111, n)
+    assert tt_not(0b1010, n) == 0b0101
+
+
+def test_hex_roundtrip():
+    n = 4
+    tt = 0xBEEF
+    assert tt_to_hex(tt, n) == "beef"
+    assert tt_from_hex("beef", n) == tt
+    with pytest.raises(TruthTableError):
+        tt_from_hex("1beef", n)
+
+
+def test_expand_tt_identity_and_permute():
+    n = 2
+    tt = 0b1000  # a & b
+    assert expand_tt(tt, [0, 1], n, n) == tt
+    # Swap variables: AND is symmetric, unchanged.
+    assert expand_tt(tt, [1, 0], n, n) == tt
+    # f = a (var 0) re-expressed over 3 vars mapping a -> var 2.
+    assert expand_tt(0b10, [2], 1, 3) == var_mask(2, 3)
+
+
+@given(st.integers(0, 255), st.integers(0, 2))
+def test_shannon_expansion(tt, var):
+    n = 3
+    c0, c1 = cofactor0(tt, var, n), cofactor1(tt, var, n)
+    mask = var_mask(var, n)
+    reconstructed = (c0 & ~mask & full_mask(n)) | (c1 & mask)
+    assert reconstructed == tt
+
+
+@given(st.integers(0, 2**16 - 1))
+def test_cofactors_idempotent(tt):
+    n = 4
+    assert cofactor0(cofactor0(tt, 2, n), 2, n) == cofactor0(tt, 2, n)
+    assert not depends_on(cofactor1(tt, 2, n), 2, n)

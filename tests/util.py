@@ -1,0 +1,58 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+from repro.aig import AIG, cone_truth, full_mask, lit_node
+
+
+def po_truth_tables(g: AIG) -> list[int]:
+    """Exhaustive truth table (Python int) of every PO over the PIs.
+
+    Only usable for small networks (#PIs <= 16).
+    """
+    pis = g.pis
+    ones = full_mask(len(pis))
+    tables = []
+    for lit in g.pos:
+        tt = cone_truth(g, lit_node(lit), pis)
+        if lit & 1:
+            tt ^= ones
+        tables.append(tt)
+    return tables
+
+
+def random_aig(
+    n_pis: int,
+    n_ands: int,
+    n_pos: int,
+    seed: int = 0,
+    name: str = "rand",
+) -> AIG:
+    """Random strashed AIG for tests (connected, no dangling logic)."""
+    rng = random.Random(seed)
+    g = AIG(name)
+    lits = [g.add_pi() for _ in range(n_pis)]
+    guard = 0
+    while g.n_ands < n_ands and guard < 50 * n_ands:
+        guard += 1
+        a = rng.choice(lits) ^ rng.randint(0, 1)
+        b = rng.choice(lits) ^ rng.randint(0, 1)
+        lit = g.add_and(a, b)
+        if lit > 1:
+            lits.append(lit)
+    # Drive POs with the least-referenced signals first so little is dangling.
+    candidates = sorted(
+        (lit for lit in lits if lit > 2 * n_pis),
+        key=lambda lit: g.n_refs(lit_node(lit)),
+    )
+    chosen = candidates[:n_pos] if candidates else lits[:n_pos]
+    while len(chosen) < n_pos:
+        chosen.append(rng.choice(lits))
+    for lit in chosen:
+        g.add_po(lit ^ rng.randint(0, 1))
+    from repro.aig import cleanup
+
+    cleanup(g)
+    return g
