@@ -1,0 +1,25 @@
+# Developer entry points. pytest.ini already puts src/ on sys.path for
+# pytest runs; plain `python` invocations still need PYTHONPATH=src.
+
+PYTHON ?= python
+
+.PHONY: test test-fast bench bench-all clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+# Engine scaling benchmark (no classifier training needed; writes
+# benchmarks/results/engine_scaling.json and a rendered table).
+bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_scaling.py
+
+# Full paper benchmark suite (trains/caches classifiers on first run).
+bench-all:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks -q
+
+clean:
+	rm -rf benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

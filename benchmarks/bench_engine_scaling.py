@@ -1,0 +1,143 @@
+"""Engine scaling: sequential refactor vs conflict-wave engine workers.
+
+For each synthetic circuit the sequential sweep is timed once, then the
+engine runs at 1/2/4 workers on fresh clones; every engine result is
+verified equivalent to its input (exact exhaustive-simulation CEC — the
+circuits keep <= 16 PIs for precisely this reason) and its AND count is
+compared against the sequential sweep.  Results go to
+``benchmarks/results/engine_scaling.json`` (machine-readable, alongside
+the rendered table) so scaling regressions are diffable across runs.
+
+Wall-clock speedup from worker parallelism requires actual cores: the
+engine's dominant phase (ISOP + factoring in the worker pool) is pure
+CPU, so on a single-core container the pool only adds dispatch overhead.
+The JSON records the core count; the pytest variant asserts speedup only
+where the hardware can express it.
+
+Runs standalone too: ``PYTHONPATH=src python benchmarks/bench_engine_scaling.py``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.circuits import layered_random_aig
+from repro.harness import engine_scaling, format_table, write_report
+from repro.verify import equivalent
+
+WORKER_COUNTS = (1, 2, 4)
+CIRCUITS = (
+    ("layered-5k", dict(n_pis=14, n_ands=5500, seed=11)),
+    ("layered-8k", dict(n_pis=16, n_ands=8000, seed=23)),
+)
+
+
+def measure_circuit(name: str, spec: dict, workers=WORKER_COUNTS) -> dict:
+    """`harness.engine_scaling` sweep + equivalence check per engine run."""
+    g = layered_random_aig(name=name, **spec)
+    baseline, *engine_rows = engine_scaling(g, workers_list=workers)
+    return {
+        "circuit": name,
+        "n_ands": g.n_ands,
+        "n_pis": g.n_pis,
+        "level": g.max_level(),
+        "sequential": {
+            "runtime": baseline.runtime,
+            "n_ands": baseline.n_ands,
+            "commits": baseline.commits,
+        },
+        "engine": [
+            {
+                "workers": row.workers,
+                "runtime": row.runtime,
+                "speedup": row.speedup,
+                "n_ands": row.n_ands,
+                "and_diff_pct": 100.0
+                * (row.n_ands - baseline.n_ands)
+                / max(1, baseline.n_ands),
+                "commits": row.commits,
+                "n_waves": row.n_waves,
+                "n_stale": row.n_stale,
+                "equivalent": bool(equivalent(g, row.graph)),
+            }
+            for row in engine_rows
+        ],
+    }
+
+
+def run_scaling(circuits=CIRCUITS, workers=WORKER_COUNTS) -> dict:
+    payload = {
+        "cores": os.cpu_count() or 1,
+        "workers": list(workers),
+        "results": [measure_circuit(name, spec, workers) for name, spec in circuits],
+    }
+    results_dir = Path(__file__).resolve().parent / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / "engine_scaling.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return payload
+
+
+def render(payload: dict) -> str:
+    rows = []
+    for result in payload["results"]:
+        rows.append(
+            [
+                result["circuit"],
+                "sequential",
+                f"{result['sequential']['runtime']:.2f}s",
+                "1.00x",
+                result["sequential"]["n_ands"],
+                "-",
+                "-",
+            ]
+        )
+        for point in result["engine"]:
+            rows.append(
+                [
+                    result["circuit"],
+                    f"engine w={point['workers']}",
+                    f"{point['runtime']:.2f}s",
+                    f"{point['speedup']:.2f}x",
+                    point["n_ands"],
+                    f"{point['and_diff_pct']:+.2f}%",
+                    "yes" if point["equivalent"] else "NO",
+                ]
+            )
+    return format_table(
+        ["Circuit", "Mode", "Runtime", "Speedup", "ANDs", "And diff", "CEC"],
+        rows,
+        title=f"Conflict-wave engine scaling ({payload['cores']} core(s) available)",
+    )
+
+
+def test_engine_scaling(benchmark):
+    from conftest import record_report
+
+    payload = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    text = render(payload)
+    write_report("engine_scaling", text)
+    record_report("engine_scaling", text)
+
+    for result in payload["results"]:
+        for point in result["engine"]:
+            # Every engine run must preserve functionality and land within
+            # 2% of the sequential sweep's quality.
+            assert point["equivalent"], (result["circuit"], point["workers"])
+            assert abs(point["and_diff_pct"]) <= 2.0, point
+    # Worker scaling is only observable with real cores behind the pool.
+    if payload["cores"] >= 4:
+        four = [
+            point
+            for result in payload["results"]
+            for point in result["engine"]
+            if point["workers"] == 4
+        ]
+        assert all(point["speedup"] > 1.0 for point in four), four
+
+
+if __name__ == "__main__":
+    report = run_scaling()
+    print(render(report))
+    print("\nwritten: benchmarks/results/engine_scaling.json")

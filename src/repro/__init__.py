@@ -15,13 +15,15 @@ Quickstart::
 Subpackages: ``aig`` (the AND-inverter-graph substrate), ``cuts``,
 ``tt`` (truth tables/ISOP/NPN), ``factor`` (algebraic factoring),
 ``opt`` (refactor/rewrite/resub/balance/flows), ``ml`` (NumPy training
-stack), ``elf`` (the paper's contribution), ``circuits`` (benchmark
-generators), ``verify`` (SAT/CEC), ``analysis`` (t-SNE/SHAP), and
-``harness`` (experiment drivers).
+stack), ``elf`` (the paper's contribution), ``engine`` (conflict-aware
+parallel refactoring), ``circuits`` (benchmark generators), ``verify``
+(SAT/CEC), ``analysis`` (t-SNE/SHAP), and ``harness`` (experiment
+drivers).
 """
 
 from .aig import AIG
-from .elf import ElfClassifier, ElfParams, elf_refactor
+from .elf import ElfClassifier, ElfParams, elf_refactor, elf_refactor_parallel
+from .engine import EngineParams, EngineStats, engine_refactor
 from .opt import RefactorParams, refactor
 
 __version__ = "1.0.0"
@@ -30,8 +32,12 @@ __all__ = [
     "AIG",
     "ElfClassifier",
     "ElfParams",
+    "EngineParams",
+    "EngineStats",
     "RefactorParams",
     "elf_refactor",
+    "elf_refactor_parallel",
+    "engine_refactor",
     "refactor",
     "__version__",
 ]

@@ -20,7 +20,7 @@ from .industrial import (
     industrial_profiles,
     industrial_suite,
 )
-from .random_aig import random_aig, redundant_sop_block
+from .random_aig import layered_random_aig, random_aig, redundant_sop_block
 from .synthetic import (
     PAPER_TABLE6,
     SYNTHETIC_SIZES,
@@ -47,6 +47,7 @@ __all__ = [
     "industrial_profiles",
     "industrial_suite",
     "isqrt",
+    "layered_random_aig",
     "log2_approx",
     "mac",
     "multiplier",

@@ -52,6 +52,65 @@ def random_aig(
     return g
 
 
+def layered_random_aig(
+    n_pis: int,
+    n_ands: int,
+    seed: int = 0,
+    name: str = "layered",
+    window: int = 256,
+    xor_fraction: float = 0.3,
+    sop_fraction: float = 0.05,
+) -> AIG:
+    """Deep synthetic AIG with *every* node kept live.
+
+    Unlike :func:`random_aig` — where most sampled nodes dangle and are
+    swept by cleanup, capping the reachable size over few PIs — dangling
+    signals here are OR-reduced into a single PO tree, so the requested
+    node count survives even with a handful of inputs.  That combination
+    (thousands of nodes, <= 16 PIs) is what lets engine runs be verified
+    with *exact* exhaustive CEC.  A ``sop_fraction`` of redundant SOP
+    blocks seeds refactorable material; XORs keep signal densities
+    balanced so deep chains do not collapse to constants.
+    """
+    rng = random.Random(seed)
+    g = AIG(name)
+    pool = [g.add_pi() for _ in range(n_pis)]
+    guard = 0
+    while g.n_ands < n_ands and guard < 50 * n_ands:
+        guard += 1
+        recent = pool[-window:] if len(pool) > window else pool
+        roll = rng.random()
+        if roll < sop_fraction:
+            signal = redundant_sop_block(
+                g,
+                [rng.choice(recent) for _ in range(5)],
+                rng.randint(3, 5),
+                rng,
+            )
+        elif roll < sop_fraction + xor_fraction:
+            a, b = rng.choice(recent), rng.choice(recent)
+            if (a >> 1) == (b >> 1):
+                continue
+            signal = g.add_xor(a, b)
+        else:
+            a = rng.choice(recent) ^ rng.randint(0, 1)
+            b = rng.choice(recent) ^ rng.randint(0, 1)
+            signal = g.add_and(a, b)
+        if signal > 1:
+            pool.append(signal)
+    layer = [lit for lit in pool if lit > 1 and g.n_refs(lit >> 1) == 0]
+    while len(layer) > 1:
+        nxt = [
+            g.add_or(layer[i], layer[i + 1]) for i in range(0, len(layer) - 1, 2)
+        ]
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    g.add_po(layer[0] if layer else pool[-1])
+    cleanup(g)
+    return g
+
+
 def redundant_sop_block(
     g: AIG,
     inputs: list[int],

@@ -1,0 +1,26 @@
+"""Conflict-aware parallel refactoring engine.
+
+The sequential refactor sweep visits nodes one at a time; the only speed
+lever ELF adds on top is classifier pruning.  This subsystem adds the
+other lever: MFFC-disjoint candidates are grouped into conflict-free
+commit waves (:mod:`repro.engine.conflict`), each wave's unique cut
+functions are resynthesized by a worker pool off the main graph
+(:mod:`repro.engine.parallel`), and winning commits are replayed
+serially (:mod:`repro.engine.scheduler`).  ``workers=1`` delegates to
+the sequential operators, bit for bit.
+"""
+
+from .conflict import Candidate, build_conflict_graph, color_waves
+from .parallel import ResynthExecutor, resynthesize_batch
+from .scheduler import EngineParams, EngineStats, engine_refactor
+
+__all__ = [
+    "Candidate",
+    "EngineParams",
+    "EngineStats",
+    "ResynthExecutor",
+    "build_conflict_graph",
+    "color_waves",
+    "engine_refactor",
+    "resynthesize_batch",
+]

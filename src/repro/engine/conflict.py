@@ -1,0 +1,89 @@
+"""Conflict graph and wave coloring for parallel refactoring.
+
+Two refactor candidates can be resynthesized concurrently and committed
+in the same wave only when their commits cannot interfere.  A commit of
+candidate A deletes exactly A's MFFC (plus, rarely, strash-merge
+victims) and rewires fanouts of A's root; both effects are confined to
+nodes that see A's MFFC.  Candidate B is therefore endangered exactly
+when A's MFFC intersects B's *footprint* — B's root, cut cone, leaves or
+MFFC — and vice versa.  Following "Parallel AIG Refactoring via Conflict
+Breaking", candidates are vertices, interference pairs are edges, and a
+greedy coloring partitions the candidates into conflict-free commit
+waves.
+
+The conflict test is conservative: a surviving wave member's snapshot
+cone is guaranteed intact (every structural edit inside the cone would
+have killed a cone node, which the scheduler re-checks before reusing
+precomputed data), so precomputed truth tables and factored forms stay
+valid across a wave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cuts.features import CutFeatures
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """Snapshot of one refactor candidate taken at pass start."""
+
+    node: int
+    leaves: tuple[int, ...]
+    interior: frozenset[int]  # cut cone, root included, leaves excluded
+    mffc: frozenset[int]  # nodes freed if ``node`` is replaced
+    features: CutFeatures | None = None
+
+    @property
+    def footprint(self) -> set[int]:
+        """Every node whose deletion or rewiring can invalidate this
+        candidate's snapshot data or commit."""
+        return {self.node} | set(self.leaves) | set(self.interior) | set(self.mffc)
+
+
+def build_conflict_graph(
+    candidates: list[Candidate],
+) -> tuple[list[set[int]], int]:
+    """Adjacency sets over candidate *indices*, plus the edge count.
+
+    Built through an inverted node -> candidates index so the cost is
+    linear in total footprint size (footprints are small — a cut has at
+    most ``max_leaves`` leaves and a comparable interior), never the
+    quadratic all-pairs scan.
+    """
+    touched_by: dict[int, list[int]] = {}
+    for index, candidate in enumerate(candidates):
+        for node in candidate.footprint:
+            touched_by.setdefault(node, []).append(index)
+    adjacency: list[set[int]] = [set() for _ in candidates]
+    for index, candidate in enumerate(candidates):
+        for node in candidate.mffc:
+            for other in touched_by.get(node, ()):
+                if other != index:
+                    adjacency[index].add(other)
+                    adjacency[other].add(index)
+    n_edges = sum(len(neighbors) for neighbors in adjacency) // 2
+    return adjacency, n_edges
+
+
+def color_waves(adjacency: list[set[int]]) -> list[list[int]]:
+    """Greedy coloring in candidate (= ascending node id) order.
+
+    Returns the color classes as waves of candidate indices; every wave
+    is an independent set of the conflict graph, and the first waves are
+    the largest (greedy packs early colors first), which is what feeds
+    the worker pool best.
+    """
+    colors = [-1] * len(adjacency)
+    waves: list[list[int]] = []
+    for index in range(len(adjacency)):
+        used = {colors[other] for other in adjacency[index] if colors[other] >= 0}
+        color = 0
+        while color in used:
+            color += 1
+        colors[index] = color
+        if color == len(waves):
+            waves.append([])
+        waves[color].append(index)
+    return waves

@@ -1,0 +1,110 @@
+"""Worker-pool execution of cut resynthesis.
+
+Resynthesis — ISOP extraction plus algebraic factoring — is a pure
+function of ``(truth table, leaf count)`` and never touches the AIG, so
+it is the one refactoring phase that parallelizes without sharing the
+graph.  The scheduler ships each wave's *unique* cut functions here in
+chunks; winning factored forms are replayed against the main graph
+serially by the scheduler.
+
+The executor keeps one ``multiprocessing`` pool alive across waves
+(fork start method where available, so workers inherit the imported
+library for free) and degrades gracefully: ``workers <= 1``, pool
+creation failure, or a mid-run pool error all fall back to in-process
+evaluation, which is bit-identical because workers run the same
+``_resynthesize`` as the sequential operator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+from ..opt.refactor import RefactorParams, _resynthesize
+
+ResynthTask = "tuple[int, int]"  # (truth table, number of leaves)
+
+
+def resynthesize_batch(
+    tasks: list[tuple[int, int]],
+    params: RefactorParams,
+) -> list[tuple]:
+    """In-process resynthesis of a task chunk (also the worker body)."""
+    return [_resynthesize(tt, n_leaves, params, None) for tt, n_leaves in tasks]
+
+
+def _worker(payload: tuple) -> list[tuple]:
+    params, chunk = payload
+    return resynthesize_batch(chunk, params)
+
+
+def _chunked(tasks: list, n_chunks: int) -> list[list]:
+    size = max(1, -(-len(tasks) // n_chunks))
+    return [tasks[i : i + size] for i in range(0, len(tasks), size)]
+
+
+class ResynthExecutor:
+    """Chunked resynthesis executor over a persistent process pool."""
+
+    def __init__(self, workers: int, params: RefactorParams) -> None:
+        self.workers = max(1, workers)
+        self.params = params
+        self._pool = None
+        self._pool_broken = False
+
+    @property
+    def in_process(self) -> bool:
+        """True when tasks run on the calling process (no pool)."""
+        return self.workers <= 1 or self._pool_broken
+
+    def will_pool(self, n_tasks: int) -> bool:
+        """Whether ``run`` would dispatch this many tasks to the pool.
+
+        Tail waves shrink geometrically; below ~4 tasks per worker the
+        dispatch + result pickling costs more than the work itself.
+        """
+        return n_tasks >= self.workers * 4 and not self.in_process
+
+    def run(self, tasks: list[tuple[int, int]]) -> list[tuple]:
+        """Resynthesize every task; results align with the input order."""
+        if not tasks:
+            return []
+        pool = self._ensure_pool() if self.will_pool(len(tasks)) else None
+        if pool is None:
+            return resynthesize_batch(tasks, self.params)
+        # ~4 chunks per worker amortizes dispatch while keeping the pool
+        # load-balanced when task costs are skewed.
+        chunks = _chunked(tasks, self.workers * 4)
+        try:
+            results = pool.map(_worker, [(self.params, chunk) for chunk in chunks])
+        except Exception:
+            self._teardown()
+            self._pool_broken = True
+            return resynthesize_batch(tasks, self.params)
+        return [entry for chunk in results for entry in chunk]
+
+    def close(self) -> None:
+        self._teardown()
+
+    def __enter__(self) -> "ResynthExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self):
+        if self._pool is None and not self._pool_broken:
+            try:
+                if "fork" in mp.get_all_start_methods():
+                    context = mp.get_context("fork")
+                else:  # pragma: no cover - non-POSIX platforms
+                    context = mp.get_context()
+                self._pool = context.Pool(self.workers)
+            except (OSError, ValueError):  # pragma: no cover - sandboxed envs
+                self._pool_broken = True
+        return self._pool
+
+    def _teardown(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None

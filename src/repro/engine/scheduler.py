@@ -1,0 +1,321 @@
+"""The conflict-aware batch scheduler (the engine's main loop).
+
+One engine pass over a network runs in four phases:
+
+1. **Snapshot sweep** — every live AND gets its reconvergence-driven cut,
+   its cut-bounded MFFC and (when a classifier is deployed) its six ELF
+   features, exactly once, on the unmodified graph.
+2. **Conflict planning** — candidates whose commits could interfere are
+   linked in a conflict graph (:mod:`repro.engine.conflict`) and greedily
+   colored into conflict-free commit waves.
+3. **Per wave** — features of the wave's members are stacked into one
+   matrix and classified with a single fused inference (the paper's
+   batching trick, applied per wave); survivors' truth tables are
+   computed on the main graph; the wave's *unique* cut functions are
+   resynthesized by the worker pool (:mod:`repro.engine.parallel`).
+4. **Serial replay** — winning factored forms are gain-checked and
+   committed one by one in ascending node order through the same
+   ``commit_tree`` the sequential operator uses, so structural soundness
+   and functional equivalence are inherited, not re-proven.
+
+Snapshot data can go stale across waves (an earlier commit killed part
+of a candidate's cone); such candidates fall back to the sequential
+per-node path inline, which costs runtime but never quality — the same
+staleness argument the paper makes for batched classification.
+
+``workers <= 1`` bypasses all of the above and *delegates* to the
+sequential operators, which makes the single-worker engine bit-identical
+to ``refactor()`` / ``elf_refactor()`` by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..aig.graph import AIG
+from ..aig.levels import RequiredLevels
+from ..aig.mffc import mffc_nodes
+from ..aig.simulate import cone_truth
+from ..cuts.features import stack_features
+from ..cuts.reconv import reconv_cut
+from ..opt.refactor import (
+    RefactorParams,
+    RefactorStats,
+    commit_tree,
+    refactor,
+    refactor_node,
+)
+from .conflict import Candidate, build_conflict_graph, color_waves
+from .parallel import ResynthExecutor
+
+
+@dataclass
+class EngineParams:
+    """Engine knobs on top of the base refactor parameters.
+
+    ``workers = 0`` means auto (one worker per available core).
+    """
+
+    refactor: RefactorParams = field(default_factory=RefactorParams)
+    workers: int = 0
+    # Classification mode for the ``workers=1`` delegation to the
+    # sequential ELF operator (wave mode always classifies batched, one
+    # fused inference per wave); mirrors ``ElfParams.batched``.
+    elf_batched: bool = True
+
+    def resolved_workers(self) -> int:
+        if self.workers > 0:
+            return self.workers
+        return os.cpu_count() or 1
+
+
+@dataclass
+class EngineStats(RefactorStats):
+    """`RefactorStats` plus the engine's scheduling counters."""
+
+    workers: int = 1
+    delegated: bool = False  # ran the plain sequential operator
+    n_candidates: int = 0
+    n_conflict_edges: int = 0
+    n_waves: int = 0
+    n_stale: int = 0  # candidates replayed via the sequential fallback
+    n_tasks: int = 0  # survivor resyntheses requested
+    n_unique_tasks: int = 0  # after per-pass (tt, leaves) dedup
+    time_snapshot: float = 0.0
+    time_conflict: float = 0.0
+    time_parallel: float = 0.0  # wall time inside the worker pool
+    time_replay: float = 0.0
+
+    @property
+    def dedup_rate(self) -> float:
+        """Fraction of resynthesis tasks eliminated by wave-level dedup."""
+        if self.n_tasks == 0:
+            return 0.0
+        return 1.0 - self.n_unique_tasks / self.n_tasks
+
+
+def engine_refactor(
+    g: AIG,
+    params: EngineParams | None = None,
+    classifier=None,
+) -> EngineStats:
+    """One conflict-wave refactor pass over ``g`` in place.
+
+    With ``classifier`` the engine is the parallel deployment of ELF
+    (each wave is classified with one fused inference); without it, the
+    engine parallelizes the plain refactor operator.
+    """
+    params = params or EngineParams()
+    workers = params.resolved_workers()
+    if workers <= 1:
+        return _delegate_sequential(g, params, classifier)
+    return _wave_refactor(g, params, classifier, workers)
+
+
+def _delegate_sequential(g: AIG, params: EngineParams, classifier) -> EngineStats:
+    """Deterministic in-process mode: run the sequential operator as-is."""
+    if classifier is None:
+        base = refactor(g, params.refactor)
+    else:
+        from ..elf.operator import ElfParams, elf_refactor
+
+        base = elf_refactor(
+            g,
+            classifier,
+            ElfParams(refactor=params.refactor, batched=params.elf_batched),
+        )
+    stats = EngineStats(workers=1, delegated=True)
+    for f in dataclasses.fields(RefactorStats):
+        setattr(stats, f.name, getattr(base, f.name))
+    stats.n_candidates = base.nodes_visited
+    stats.n_waves = 1 if base.nodes_visited else 0
+    return stats
+
+
+def _wave_refactor(
+    g: AIG,
+    params: EngineParams,
+    classifier,
+    workers: int,
+) -> EngineStats:
+    stats = EngineStats(workers=workers)
+    start = time.perf_counter()
+    rparams = params.refactor
+    required = RequiredLevels(g) if rparams.preserve_levels else None
+    want_features = classifier is not None
+
+    # Phase 1: snapshot sweep (cuts, features, MFFCs on the intact graph).
+    t0 = time.perf_counter()
+    candidates: list[Candidate] = []
+    n_trivial = 0
+    for node in g.and_ids():
+        cut = reconv_cut(g, node, rparams.max_leaves, collect_features=want_features)
+        if cut.n_leaves < 2:
+            n_trivial += 1
+            continue
+        mffc = frozenset(mffc_nodes(g, node, boundary=set(cut.leaves)))
+        candidates.append(
+            Candidate(
+                node=node,
+                leaves=tuple(cut.leaves),
+                interior=frozenset(cut.interior),
+                mffc=mffc,
+                features=cut.features,
+            )
+        )
+    stats.time_snapshot = time.perf_counter() - t0
+    stats.time_cut += stats.time_snapshot
+    # Degenerate cuts mirror the sequential accounting (visited, formed,
+    # failed) without entering the wave machinery.
+    stats.nodes_visited += n_trivial
+    stats.cuts_formed += n_trivial
+    stats.fail_trivial += n_trivial
+    stats.n_candidates = len(candidates)
+
+    # Phase 2: conflict planning.
+    t0 = time.perf_counter()
+    adjacency, n_edges = build_conflict_graph(candidates)
+    waves = color_waves(adjacency)
+    stats.n_conflict_edges = n_edges
+    stats.n_waves = len(waves)
+    stats.time_conflict = time.perf_counter() - t0
+
+    # Phases 3+4, wave by wave.
+    cache: dict = {}
+    with ResynthExecutor(workers, rparams) as executor:
+        for wave in waves:
+            _run_wave(
+                g,
+                [candidates[i] for i in wave],
+                classifier,
+                rparams,
+                required,
+                cache,
+                executor,
+                stats,
+            )
+    stats.time_total = time.perf_counter() - start
+    return stats
+
+
+def _cone_alive(g: AIG, candidate: Candidate) -> bool:
+    """Is the snapshot cut still structurally intact?
+
+    Any graph edit that could change the candidate's local function kills
+    a node of its cone (fanouts of a replaced node are only rewired where
+    the replaced node — by the cut closure property a cone member — dies),
+    so liveness of root, interior and leaves certifies the precomputed
+    truth table and factored form.
+    """
+    if g.is_dead(candidate.node):
+        return False
+    for node in candidate.interior:
+        if g.is_dead(node):
+            return False
+    for node in candidate.leaves:
+        if g.is_dead(node):
+            return False
+    return True
+
+
+def _run_wave(
+    g: AIG,
+    members: list[Candidate],
+    classifier,
+    rparams: RefactorParams,
+    required: RequiredLevels | None,
+    cache: dict,
+    executor: ResynthExecutor,
+    stats: EngineStats,
+) -> None:
+    # Partition the wave into candidates whose snapshot survived earlier
+    # waves and stale ones (replayed via the sequential fallback below).
+    valid: list[Candidate] = []
+    stale: list[Candidate] = []
+    for candidate in members:
+        if g.is_dead(candidate.node):
+            continue  # committed away entirely; the sequential sweep skips these too
+        if _cone_alive(g, candidate):
+            valid.append(candidate)
+        else:
+            stale.append(candidate)
+
+    # One fused classification per wave over the stacked feature matrix.
+    pruned: set[int] = set()
+    if classifier is not None and valid:
+        t0 = time.perf_counter()
+        matrix = stack_features([c.features for c in valid])
+        keep = classifier.keep_mask(matrix)
+        stats.time_inference += time.perf_counter() - t0
+        pruned = {c.node for c, k in zip(valid, keep) if not k}
+
+    # Truth tables of the surviving candidates, then one pool dispatch for
+    # the wave's unique cut functions.
+    survivors: list[tuple[Candidate, int]] = []
+    t0 = time.perf_counter()
+    for candidate in valid:
+        if candidate.node in pruned:
+            continue
+        survivors.append(
+            (candidate, cone_truth(g, candidate.node, list(candidate.leaves)))
+        )
+    stats.time_truth += time.perf_counter() - t0
+
+    todo: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    for candidate, tt in survivors:
+        key = (tt, len(candidate.leaves))
+        if key not in cache and key not in seen:
+            seen.add(key)
+            todo.append(key)
+    stats.n_tasks += len(survivors)
+    stats.n_unique_tasks += len(todo)
+    if todo:
+        pooled = executor.will_pool(len(todo))
+        t0 = time.perf_counter()
+        for key, entry in zip(todo, executor.run(todo)):
+            cache[key] = entry
+        elapsed = time.perf_counter() - t0
+        if pooled:
+            stats.time_parallel += elapsed
+        stats.time_resynth += elapsed
+
+    # Serial replay in ascending node order: commit survivors with their
+    # precomputed forms, re-attempt stale members from scratch.
+    t0 = time.perf_counter()
+    precomputed = {c.node: tt for c, tt in survivors}
+    for candidate in sorted(valid + stale, key=lambda c: c.node):
+        node = candidate.node
+        if g.is_dead(node):
+            continue
+        if node in pruned:
+            stats.nodes_visited += 1
+            stats.pruned += 1
+            continue
+        stats.nodes_visited += 1
+        if node in precomputed and _cone_alive(g, candidate):
+            tt = precomputed[node]
+            entry = cache[(tt, len(candidate.leaves))]
+            stats.cuts_formed += 1
+            commit_tree(
+                g,
+                node,
+                list(candidate.leaves),
+                rparams,
+                required,
+                stats,
+                lambda entry=entry: entry,
+            )
+        else:
+            # Stale snapshot (or killed by a rare intra-wave strash
+            # cascade): fall back to the sequential per-node path.
+            stats.n_stale += 1
+            cut_t0 = time.perf_counter()
+            cut = reconv_cut(g, node, rparams.max_leaves, collect_features=False)
+            stats.time_cut += time.perf_counter() - cut_t0
+            stats.cuts_formed += 1
+            refactor_node(g, node, cut, rparams, required, stats, cache=cache)
+    stats.time_replay += time.perf_counter() - t0

@@ -3,9 +3,11 @@
 from .cache import cache_dir, cached_classifier, cached_dataset, clear_cache
 from .experiments import (
     DEFAULT_TRAIN_CONFIG,
+    EngineScalingRow,
     RedundancyRow,
     StatsRow,
     comparison_rows,
+    engine_scaling,
     feature_matrix,
     global_classifier,
     loo_classifiers,
@@ -18,6 +20,7 @@ from .tables import format_table, write_report
 
 __all__ = [
     "DEFAULT_TRAIN_CONFIG",
+    "EngineScalingRow",
     "RedundancyRow",
     "StatsRow",
     "cache_dir",
@@ -25,6 +28,7 @@ __all__ = [
     "cached_dataset",
     "clear_cache",
     "comparison_rows",
+    "engine_scaling",
     "feature_matrix",
     "format_table",
     "global_classifier",

@@ -121,12 +121,101 @@ def comparison_rows(
     classifiers: dict[str, ElfClassifier],
     elf_applications: int = 1,
     params: ElfParams | None = None,
+    engine_workers: int | None = None,
 ) -> list[ComparisonRow]:
-    """Tables III/IV/V: baseline refactor vs ELF per design."""
+    """Tables III/IV/V: baseline refactor vs ELF per design.
+
+    ``engine_workers`` additionally runs the conflict-wave engine per
+    design and fills each row's ``engine_*`` columns.
+    """
     rows = []
     for name, g in suite.items():
         rows.append(
-            compare(g, classifiers[name], params, elf_applications=elf_applications)
+            compare(
+                g,
+                classifiers[name],
+                params,
+                elf_applications=elf_applications,
+                engine_workers=engine_workers,
+            )
+        )
+    return rows
+
+
+@dataclass
+class EngineScalingRow:
+    """One (design, workers) measurement of the conflict-wave engine.
+
+    ``workers == 0`` encodes the sequential ``refactor()`` baseline the
+    speedups are normalized against.
+    """
+
+    design: str
+    workers: int
+    runtime: float
+    n_ands: int
+    level: int
+    speedup: float  # sequential runtime / this runtime
+    n_waves: int = 0
+    n_stale: int = 0
+    commits: int = 0
+    graph: AIG | None = None  # the optimized clone (for CEC by callers)
+
+
+def engine_scaling(
+    g: AIG,
+    workers_list: tuple[int, ...] = (1, 2, 4),
+    params=None,
+    classifier: ElfClassifier | None = None,
+) -> list[EngineScalingRow]:
+    """Sequential sweep vs the engine at each worker count (fresh clones).
+
+    The first returned row (``workers == 0``) is the sequential
+    baseline; every engine row carries its speedup against it.
+    """
+    import time as _time
+
+    from ..engine import EngineParams, engine_refactor
+
+    engine_params = params or EngineParams()
+    baseline_g = g.clone()
+    t0 = _time.perf_counter()
+    baseline_stats = refactor(baseline_g, engine_params.refactor)
+    baseline_runtime = _time.perf_counter() - t0
+    rows = [
+        EngineScalingRow(
+            design=g.name,
+            workers=0,
+            runtime=baseline_runtime,
+            n_ands=baseline_g.n_ands,
+            level=baseline_g.max_level(),
+            speedup=1.0,
+            commits=baseline_stats.commits,
+            graph=baseline_g,
+        )
+    ]
+    for workers in workers_list:
+        engine_g = g.clone()
+        t0 = _time.perf_counter()
+        stats = engine_refactor(
+            engine_g,
+            EngineParams(refactor=engine_params.refactor, workers=workers),
+            classifier=classifier,
+        )
+        runtime = _time.perf_counter() - t0
+        rows.append(
+            EngineScalingRow(
+                design=g.name,
+                workers=workers,
+                runtime=runtime,
+                n_ands=engine_g.n_ands,
+                level=engine_g.max_level(),
+                speedup=baseline_runtime / runtime if runtime > 0 else float("inf"),
+                n_waves=stats.n_waves,
+                n_stale=stats.n_stale,
+                commits=stats.commits,
+                graph=engine_g,
+            )
         )
     return rows
 

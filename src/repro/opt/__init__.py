@@ -4,7 +4,7 @@ balance, and flow scripting."""
 from .balance import balance
 from .flow import COMPRESS2, RESYN2, FlowReport, FlowStep, run_flow
 from .npn_library import LibraryEntry, NpnLibrary, default_library
-from .refactor import RefactorParams, RefactorStats, refactor, refactor_node
+from .refactor import RefactorParams, RefactorStats, commit_tree, refactor, refactor_node
 from .resub import ResubParams, ResubStats, resub
 from .rewrite import RewriteParams, RewriteStats, rewrite
 
@@ -22,6 +22,7 @@ __all__ = [
     "RewriteParams",
     "RewriteStats",
     "balance",
+    "commit_tree",
     "default_library",
     "refactor",
     "refactor_node",

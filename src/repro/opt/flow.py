@@ -66,8 +66,11 @@ def run_flow(
 
     Commands: ``b`` (balance), ``rw``/``rwz`` (rewrite / zero-cost),
     ``rf``/``rfz`` (refactor / zero-cost), ``rs`` (resub), ``elf``/
-    ``elfz`` (ELF-pruned refactor; needs ``classifier``).  A ``-l``
-    suffix preserves levels where the operator supports it.
+    ``elfz`` (ELF-pruned refactor; needs ``classifier``), ``pf``/``pfz``
+    (conflict-wave parallel refactor) and ``pelf``/``pelfz`` (parallel
+    ELF; needs ``classifier``).  A ``-l`` suffix preserves levels where
+    the operator supports it; the parallel commands accept ``-w N`` to
+    pin the worker count (default: one per core).
     """
     report = FlowReport(script=script)
     for raw in script.split(";"):
@@ -121,4 +124,30 @@ def _execute(g: AIG, command: str, classifier):
             ),
         )
         return g, stats
+    if op in ("pf", "pfz", "pelf", "pelfz"):
+        if op.startswith("pelf") and classifier is None:
+            raise ReproError(f"flow step {op!r} requires a classifier")
+        from ..engine import EngineParams, engine_refactor
+
+        stats = engine_refactor(
+            g,
+            EngineParams(
+                refactor=RefactorParams(
+                    zero_cost=op.endswith("z"), preserve_levels=preserve
+                ),
+                workers=_parse_workers(parts[1:]),
+            ),
+            classifier=classifier if op.startswith("pelf") else None,
+        )
+        return g, stats
     raise ReproError(f"unknown flow command {command!r}")
+
+
+def _parse_workers(args: list[str]) -> int:
+    """Extract the ``-w N`` worker count; 0 means auto (cpu count)."""
+    for i, arg in enumerate(args):
+        if arg == "-w":
+            if i + 1 >= len(args) or not args[i + 1].isdigit():
+                raise ReproError("-w requires an integer worker count")
+            return int(args[i + 1])
+    return 0

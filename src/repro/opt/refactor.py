@@ -169,6 +169,34 @@ def refactor_node(
     tt = cone_truth(g, node, leaves)
     stats.time_truth += time.perf_counter() - t0
 
+    return commit_tree(
+        g,
+        node,
+        leaves,
+        params,
+        required,
+        stats,
+        lambda: _resynthesize(tt, n_leaves, params, cache),
+    )
+
+
+def commit_tree(
+    g: AIG,
+    node: int,
+    leaves: list[int],
+    params: RefactorParams,
+    required: RequiredLevels | None,
+    stats: RefactorStats,
+    resolve,
+) -> bool:
+    """Gain-check and commit a factored replacement for ``node``.
+
+    ``resolve()`` lazily supplies the ``(tree, inverted)`` pair — the
+    sequential operator resynthesizes on demand, the parallel engine hands
+    over a form precomputed in a worker process.  It is only invoked when
+    the MFFC leaves any budget for new nodes, preserving the sequential
+    operator's exact skip behavior.
+    """
     t0 = time.perf_counter()
     mffc = mffc_nodes(g, node, boundary=set(leaves))
     saved = len(mffc)
@@ -176,7 +204,7 @@ def refactor_node(
     best = None  # (cost, root_level, tree, inverted, existing_lit)
     level_rejected = False
     if max_added >= 0:
-        tree, inverted = _resynthesize(tt, n_leaves, params, cache)
+        tree, inverted = resolve()
         forbidden = set(mffc)
         leaf_lits = [make_lit(leaf) for leaf in leaves]
         result = count_tree(g, tree, leaf_lits, forbidden, max_added)

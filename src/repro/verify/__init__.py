@@ -1,6 +1,6 @@
 """Verification: SAT solving, CNF encoding, combinational equivalence."""
 
-from .cec import counterexample, equivalent, po_truth_tables
+from .cec import counterexample, equivalent, exhaustive_pi_patterns, po_truth_tables
 from .cnf import CnfMapping, encode
 from .sat import Solver
 
@@ -10,5 +10,6 @@ __all__ = [
     "counterexample",
     "encode",
     "equivalent",
+    "exhaustive_pi_patterns",
     "po_truth_tables",
 ]

@@ -1,0 +1,2 @@
+"""Test package marker: the suite uses relative imports (``from .util
+import ...``), which need ``tests`` to be a proper package."""

@@ -1,0 +1,309 @@
+"""Tests for the conflict-aware parallel refactoring engine."""
+
+import numpy as np
+import pytest
+
+from repro.aig.mffc import mffc_nodes
+from repro.circuits import layered_random_aig
+from repro.cuts.reconv import reconv_cut
+from repro.elf import ElfClassifier
+from repro.engine import (
+    Candidate,
+    EngineParams,
+    EngineStats,
+    ResynthExecutor,
+    build_conflict_graph,
+    color_waves,
+    engine_refactor,
+    resynthesize_batch,
+)
+from repro.errors import ReproError
+from repro.ml import MLP
+from repro.opt import RefactorParams, refactor, run_flow
+from repro.verify import equivalent
+from repro.verify.cec import exhaustive_pi_patterns
+
+from .util import po_truth_tables, random_aig
+
+
+def constant_classifier(keep_everything=True):
+    model = MLP((6, 2, 1), seed=0)
+    for w in model.weights:
+        w[:] = 0.0
+    model.biases[-1][:] = 10.0 if keep_everything else -10.0
+    return ElfClassifier(model, threshold=0.5)
+
+
+def snapshot_candidates(g, max_leaves=10):
+    """The engine's phase-1 snapshot, reproduced for white-box tests."""
+    candidates = []
+    for node in g.and_ids():
+        cut = reconv_cut(g, node, max_leaves, collect_features=False)
+        if cut.n_leaves < 2:
+            continue
+        candidates.append(
+            Candidate(
+                node=node,
+                leaves=tuple(cut.leaves),
+                interior=frozenset(cut.interior),
+                mffc=frozenset(mffc_nodes(g, node, boundary=set(cut.leaves))),
+            )
+        )
+    return candidates
+
+
+class TestConflictGraph:
+    def test_waves_are_mffc_disjoint(self):
+        g = layered_random_aig(12, 600, seed=5)
+        candidates = snapshot_candidates(g)
+        adjacency, n_edges = build_conflict_graph(candidates)
+        waves = color_waves(adjacency)
+        assert n_edges > 0  # a dense circuit must have real conflicts
+        for wave in waves:
+            for pos, i in enumerate(wave):
+                for j in wave[pos + 1 :]:
+                    assert not (candidates[i].mffc & candidates[j].mffc), (
+                        candidates[i].node,
+                        candidates[j].node,
+                    )
+
+    def test_waves_partition_candidates(self):
+        g = random_aig(8, 200, 6, seed=2)
+        candidates = snapshot_candidates(g)
+        adjacency, _ = build_conflict_graph(candidates)
+        waves = color_waves(adjacency)
+        flat = sorted(i for wave in waves for i in wave)
+        assert flat == list(range(len(candidates)))
+
+    def test_conflicting_pair_separated(self):
+        g = random_aig(8, 200, 6, seed=3)
+        candidates = snapshot_candidates(g)
+        adjacency, _ = build_conflict_graph(candidates)
+        waves = color_waves(adjacency)
+        color_of = {}
+        for color, wave in enumerate(waves):
+            for i in wave:
+                color_of[i] = color
+        for i, neighbors in enumerate(adjacency):
+            for j in neighbors:
+                assert color_of[i] != color_of[j]
+
+    def test_footprint_covers_cone_and_mffc(self):
+        c = Candidate(
+            node=9,
+            leaves=(2, 3),
+            interior=frozenset({9, 7}),
+            mffc=frozenset({9, 8}),
+        )
+        assert c.footprint == {2, 3, 7, 8, 9}
+
+
+class TestWorkersOneParity:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_identical_to_sequential_refactor(self, seed):
+        g = random_aig(10, 500, 10, seed=seed)
+        sequential, engine = g.clone(), g.clone()
+        seq_stats = refactor(sequential)
+        eng_stats = engine_refactor(engine, EngineParams(workers=1))
+        assert eng_stats.delegated
+        assert engine.n_ands == sequential.n_ands
+        assert engine.max_level() == sequential.max_level()
+        assert eng_stats.commits == seq_stats.commits
+        assert eng_stats.fails == seq_stats.fails
+
+    def test_zero_cost_and_levels_delegate_too(self):
+        g = layered_random_aig(10, 400, seed=9)
+        params = RefactorParams(zero_cost=True, preserve_levels=True)
+        sequential, engine = g.clone(), g.clone()
+        refactor(sequential, params)
+        engine_refactor(engine, EngineParams(refactor=params, workers=1))
+        assert engine.n_ands == sequential.n_ands
+
+    def test_classifier_delegates_to_elf(self):
+        from repro.elf import ElfParams, elf_refactor
+
+        g = layered_random_aig(10, 400, seed=8)
+        clf = constant_classifier(True)
+        sequential, engine = g.clone(), g.clone()
+        elf_refactor(sequential, clf, ElfParams())
+        stats = engine_refactor(engine, EngineParams(workers=1), classifier=clf)
+        assert stats.delegated
+        assert engine.n_ands == sequential.n_ands
+
+
+class TestWaveEngine:
+    def test_equivalent_and_close_to_sequential(self):
+        g = layered_random_aig(12, 1200, seed=21)
+        sequential, engine = g.clone(), g.clone()
+        seq_stats = refactor(sequential)
+        eng_stats = engine_refactor(engine, EngineParams(workers=2))
+        assert not eng_stats.delegated
+        assert eng_stats.n_waves > 1
+        assert equivalent(g, engine, method="exhaustive")
+        diff = abs(engine.n_ands - sequential.n_ands) / max(1, sequential.n_ands)
+        assert diff <= 0.02, (engine.n_ands, sequential.n_ands)
+        assert eng_stats.commits > 0
+        assert seq_stats.commits > 0
+
+    def test_stats_are_consistent(self):
+        g = layered_random_aig(12, 800, seed=13)
+        stats = engine_refactor(g, EngineParams(workers=2))
+        assert isinstance(stats, EngineStats)
+        assert stats.nodes_visited == stats.commits + stats.fails + stats.pruned
+        assert stats.n_unique_tasks <= stats.n_tasks
+        assert stats.n_waves == 0 or stats.n_candidates > 0
+        assert stats.time_total > 0
+
+    def test_classifier_prunes_in_waves(self):
+        g = layered_random_aig(12, 600, seed=4)
+        stats = engine_refactor(
+            g.clone(), EngineParams(workers=2), classifier=constant_classifier(False)
+        )
+        assert stats.commits == 0
+        assert stats.pruned > 0
+        assert stats.n_tasks == 0  # nothing survives to resynthesis
+
+        keep = g.clone()
+        stats_keep = engine_refactor(
+            keep, EngineParams(workers=2), classifier=constant_classifier(True)
+        )
+        assert stats_keep.pruned == 0
+        assert stats_keep.commits > 0
+        assert equivalent(g, keep, method="exhaustive")
+
+    def test_preserve_levels_respected(self):
+        g = layered_random_aig(12, 800, seed=6)
+        level_before = g.max_level()
+        engine_refactor(
+            g, EngineParams(refactor=RefactorParams(preserve_levels=True), workers=2)
+        )
+        assert g.max_level() <= level_before
+
+    def test_acceptance_5k_nodes_workers_4(self):
+        """Acceptance: >= 5k-node synthetic AIG, engine at 4 workers is
+        CEC-equivalent and within 2% of sequential refactor's AND count."""
+        g = layered_random_aig(14, 5500, seed=11)
+        assert g.n_ands >= 5000
+        sequential, engine = g.clone(), g.clone()
+        refactor(sequential)
+        stats = engine_refactor(engine, EngineParams(workers=4))
+        assert stats.workers == 4
+        assert stats.n_waves > 1
+        assert equivalent(g, engine)  # auto -> exact exhaustive simulation
+        diff = abs(engine.n_ands - sequential.n_ands) / sequential.n_ands
+        assert diff <= 0.02, (engine.n_ands, sequential.n_ands)
+
+
+class TestParallelExecutor:
+    def test_pool_matches_in_process(self):
+        from repro.aig.simulate import cone_truth
+
+        g = layered_random_aig(12, 300, seed=7)
+        tasks = [
+            (cone_truth(g, c.node, list(c.leaves)), len(c.leaves))
+            for c in snapshot_candidates(g)[:40]
+        ]
+        params = RefactorParams()
+        inline = resynthesize_batch(tasks, params)
+        with ResynthExecutor(2, params) as executor:
+            pooled = executor.run(tasks)
+        assert pooled == inline
+
+    def test_empty_and_single_worker(self):
+        params = RefactorParams()
+        with ResynthExecutor(1, params) as executor:
+            assert executor.in_process
+            assert executor.run([]) == []
+            assert executor.run([(0b1000, 2)]) == resynthesize_batch(
+                [(0b1000, 2)], params
+            )
+
+
+class TestFlowCommands:
+    def test_pf_command(self):
+        g = layered_random_aig(12, 500, seed=1)
+        out, report = run_flow(g.clone(), "pf -w 2")
+        assert equivalent(g, out, method="exhaustive")
+        assert out.n_ands <= g.n_ands
+        assert isinstance(report.steps[0].detail, EngineStats)
+
+    def test_pelf_command_requires_classifier(self):
+        g = random_aig(6, 60, 3, seed=1)
+        with pytest.raises(ReproError):
+            run_flow(g, "pelf")
+
+    def test_pelf_command(self):
+        g = layered_random_aig(12, 500, seed=2)
+        out, report = run_flow(
+            g.clone(), "pelf -w 2", classifier=constant_classifier(True)
+        )
+        assert equivalent(g, out, method="exhaustive")
+        assert isinstance(report.steps[0].detail, EngineStats)
+
+    def test_pfz_preserve_levels_variant(self):
+        g = layered_random_aig(12, 400, seed=3)
+        out, _ = run_flow(g.clone(), "pfz -l -w 2")
+        assert equivalent(g, out, method="exhaustive")
+
+    def test_bad_workers_flag(self):
+        g = random_aig(6, 60, 3, seed=1)
+        with pytest.raises(ReproError):
+            run_flow(g, "pf -w")
+        with pytest.raises(ReproError):
+            run_flow(g, "pf -w x")
+
+
+class TestExhaustiveSimCec:
+    def test_patterns_match_truth_table_order(self):
+        from repro.aig.simulate import var_mask
+
+        n = 8
+        patterns = exhaustive_pi_patterns(n)
+        for var in range(n):
+            packed = 0
+            for w in range(patterns.shape[1]):
+                packed |= int(patterns[var, w]) << (64 * w)
+            assert packed == var_mask(var, n)
+
+    def test_exhaustive_sim_agrees_with_tables(self):
+        g = random_aig(13, 250, 8, seed=5)  # 13 PIs: beyond the table path
+        h = g.clone()
+        refactor(h)
+        assert equivalent(g, h, method="exhaustive-sim")
+        assert po_truth_tables(g) == po_truth_tables(h)
+
+    def test_exhaustive_sim_catches_difference(self):
+        g = random_aig(13, 250, 8, seed=6)
+        h = g.clone()
+        # Flip one PO's phase: a guaranteed functional difference.
+        h.set_po(0, h.pos[0] ^ 1)
+        assert not equivalent(g, h, method="exhaustive-sim")
+
+
+class TestPipelineIntegration:
+    def test_compare_reports_engine_row(self):
+        from repro.elf import compare
+
+        g = layered_random_aig(12, 500, seed=14)
+        row = compare(g, constant_classifier(True), engine_workers=2)
+        assert row.engine_workers == 2
+        assert row.engine_runtime > 0
+        assert row.engine_ands > 0
+        assert row.engine_stats is not None
+        assert row.engine_speedup > 0
+        # Without the flag the engine columns stay absent.
+        row_plain = compare(g, constant_classifier(True))
+        assert row_plain.engine_workers == 0
+        assert row_plain.engine_stats is None
+        assert row_plain.engine_speedup == 0.0
+
+    def test_engine_scaling_rows(self):
+        from repro.harness import engine_scaling
+
+        g = layered_random_aig(12, 500, seed=15)
+        rows = engine_scaling(g, workers_list=(1, 2))
+        assert [r.workers for r in rows] == [0, 1, 2]
+        assert rows[0].speedup == 1.0
+        assert rows[1].n_ands == rows[0].n_ands  # workers=1 delegates
+        for row in rows[1:]:
+            assert row.runtime > 0 and row.speedup > 0
