@@ -3,18 +3,28 @@
 
 PYTHON ?= python
 
-.PHONY: test test-fast bench bench-all clean
+.PHONY: test test-fast docs-check bench bench-serve bench-all clean
 
-test:
+test: docs-check
 	$(PYTHON) -m pytest -x -q
 
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
 
+# Documentation gate: module docstrings in repro.engine / repro.serve
+# plus executable README examples (tools/docs_check.py).
+docs-check:
+	$(PYTHON) tools/docs_check.py
+
 # Engine scaling benchmark (no classifier training needed; writes
 # benchmarks/results/engine_scaling.json and a rendered table).
 bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_scaling.py
+
+# Sharded serving throughput + classifier batch occupancy (writes
+# benchmarks/results/serve_throughput.json and a rendered table).
+bench-serve:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve_throughput.py
 
 # Full paper benchmark suite (trains/caches classifiers on first run).
 bench-all:

@@ -1,0 +1,182 @@
+"""Sharded serving throughput: many circuits in flight, fused ELF inference.
+
+A suite of 9 circuits (the tiny EPFL-like six plus three synthetic
+designs) is served through an ELF flow across 3 shards.  The run records
+
+* the **streamed completion order** — results are consumed as circuits
+  finish, not after the slowest shard;
+* **classifier batch occupancy** per shard — how many circuits and
+  feature rows each fused inference served, and the fraction of
+  dispatches cross-circuit fusion eliminated;
+* a **byte-identity audit** — at ``workers=1`` every streamed result is
+  re-derived by a blocking per-circuit ``run_flow`` and the BENCH texts
+  must match exactly (the serving layer's correctness contract).
+
+Results go to ``benchmarks/results/serve_throughput.json`` alongside the
+rendered table.  Throughput on a single-core container reflects the GIL
+(circuit threads interleave); the shape that matters everywhere is the
+occupancy/amortization column, which is timing-independent.
+
+Runs standalone too: ``PYTHONPATH=src python benchmarks/bench_serve_throughput.py``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.circuits import epfl_suite, layered_random_aig, random_aig
+from repro.elf import collect_dataset, train_leave_one_out
+from repro.harness import format_table, serve_throughput, write_report
+from repro.ml import TrainConfig
+
+FLOW = "b; elf"
+N_SHARDS = 3
+WORKERS = 1  # the deterministic mode the byte-identity contract covers
+
+
+def build_suite() -> dict:
+    """Nine small circuits: EPFL-like tiny six + three synthetic designs."""
+    suite = dict(epfl_suite("tiny"))
+    suite["layered-a"] = layered_random_aig(n_pis=12, n_ands=500, seed=5, name="layered-a")
+    suite["layered-b"] = layered_random_aig(n_pis=13, n_ands=700, seed=9, name="layered-b")
+    suite["rand-c"] = random_aig(n_pis=10, n_ands=400, n_pos=8, seed=3, name="rand-c")
+    return suite
+
+
+def build_classifier():
+    """Quick classifier trained on held-out random circuits (not the suite)."""
+    graphs = [
+        random_aig(n_pis=8, n_ands=200, n_pos=4, seed=s, name=f"train{s}")
+        for s in (21, 22, 23)
+    ]
+    datasets = {g.name: collect_dataset(g) for g in graphs}
+    return train_leave_one_out(
+        datasets, "train21", TrainConfig(epochs=8, seed=0), target_recall=0.95
+    )
+
+
+def run_serve(flow=FLOW, n_shards=N_SHARDS, workers=WORKERS) -> dict:
+    suite = build_suite()
+    classifier = build_classifier()
+    rows, report = serve_throughput(
+        suite,
+        flow=flow,
+        n_shards=n_shards,
+        workers=workers,
+        classifier=classifier,
+        check_identity=(workers == 1),
+    )
+    payload = {
+        "cores": os.cpu_count() or 1,
+        "flow": flow,
+        "n_shards": report.plan.n_shards,
+        "workers": workers,
+        "n_circuits": len(rows),
+        "wall_time": report.wall_time,
+        "circuits_per_sec": report.circuits_per_second,
+        "shard_plan": [list(members) for members in report.plan.shards],
+        "plan_imbalance": report.plan.imbalance,
+        "results": [
+            {
+                "circuit": row.design,
+                "shard": row.shard,
+                "order": row.order,
+                "runtime": row.runtime,
+                "n_ands_before": row.n_ands_before,
+                "n_ands": row.n_ands,
+                "level": row.level,
+                "identical_to_sequential": row.identical,
+                "error": row.error,
+            }
+            for row in rows
+        ],
+        "fusion": [
+            {
+                "shard": shard,
+                "n_calls": stats.n_calls,
+                "n_subbatches": stats.n_subbatches,
+                "n_rows": stats.n_rows,
+                "mean_occupancy": stats.mean_occupancy,
+                "mean_rows_per_call": stats.mean_rows,
+                "amortization": stats.amortization,
+            }
+            for shard, stats in sorted(report.fusion.items())
+        ],
+    }
+    results_dir = Path(__file__).resolve().parent / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / "serve_throughput.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return payload
+
+
+def render(payload: dict) -> str:
+    rows = [
+        [
+            point["order"],
+            point["circuit"],
+            point["shard"],
+            f"{point['runtime']:.2f}s",
+            point["n_ands_before"],
+            point["n_ands"],
+            {True: "yes", False: "NO", None: "-"}[point["identical_to_sequential"]],
+        ]
+        for point in payload["results"]
+    ]
+    table = format_table(
+        ["Done", "Circuit", "Shard", "Runtime", "ANDs in", "ANDs out", "Identical"],
+        rows,
+        title=(
+            f"Sharded serving: {payload['n_circuits']} circuits, "
+            f"{payload['n_shards']} shards, flow {payload['flow']!r} "
+            f"({payload['circuits_per_sec']:.2f} circuits/s)"
+        ),
+    )
+    fusion_rows = [
+        [
+            point["shard"],
+            point["n_calls"],
+            point["n_subbatches"],
+            point["n_rows"],
+            f"{point['mean_occupancy']:.2f}",
+            f"{point['mean_rows_per_call']:.0f}",
+            f"{100 * point['amortization']:.0f}%",
+        ]
+        for point in payload["fusion"]
+    ]
+    fusion_table = format_table(
+        ["Shard", "Fused calls", "Requests", "Rows", "Circuits/call", "Rows/call", "Saved"],
+        fusion_rows,
+        title="Classifier batch occupancy (cross-circuit fusion)",
+    )
+    return table + "\n" + fusion_table
+
+
+def test_serve_throughput(benchmark):
+    from conftest import record_report
+
+    payload = benchmark.pedantic(run_serve, rounds=1, iterations=1)
+    text = render(payload)
+    write_report("serve_throughput", text)
+    record_report("serve_throughput", text)
+
+    assert payload["n_circuits"] >= 8
+    orders = sorted(point["order"] for point in payload["results"])
+    assert orders == list(range(payload["n_circuits"]))
+    for point in payload["results"]:
+        assert point["error"] is None, point
+        assert point["identical_to_sequential"] is True, point
+    # Every fused call in a multi-circuit shard must batch across circuits.
+    multi = [
+        point
+        for point in payload["fusion"]
+        if len(payload["shard_plan"][point["shard"]]) > 1
+    ]
+    assert multi and all(point["mean_occupancy"] > 1.0 for point in multi), payload["fusion"]
+
+
+if __name__ == "__main__":
+    report = run_serve()
+    print(render(report))
+    print("\nwritten: benchmarks/results/serve_throughput.json")

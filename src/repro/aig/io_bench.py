@@ -15,8 +15,14 @@ from .graph import AIG
 from .literal import lit_node, lit_not
 
 
-def write(g: AIG, path: str | Path) -> None:
-    """Write ``g`` as a BENCH netlist."""
+def to_text(g: AIG) -> str:
+    """Render ``g`` as BENCH netlist text.
+
+    The rendering is a pure function of the graph structure (node ids,
+    fanin literals, PO order), so two structurally identical networks
+    produce byte-identical text — the serving layer relies on this to
+    certify that streamed results match blocking per-circuit runs.
+    """
     g = g.clone()
     lines = [f"# {g.name}"]
     for i in range(g.n_pis):
@@ -41,7 +47,12 @@ def write(g: AIG, path: str | Path) -> None:
         lines.append(f"n{node * 2} = AND({a}, {b})")
     for i, lit in enumerate(g.pos):
         lines.append(f"po{i} = BUF({lit_name(lit)})")
-    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
+    return "\n".join(lines) + "\n"
+
+
+def write(g: AIG, path: str | Path) -> None:
+    """Write ``g`` as a BENCH netlist."""
+    Path(path).write_text(to_text(g), encoding="ascii")
 
 
 _GATES = {

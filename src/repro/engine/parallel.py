@@ -64,6 +64,16 @@ class ResynthExecutor:
         """
         return n_tasks >= self.workers * 4 and not self.in_process
 
+    def warm(self) -> bool:
+        """Fork the worker pool now (if pooling applies); True when live.
+
+        Long-lived owners (the serving layer) call this from the main
+        thread before spawning circuit threads: forking a process pool
+        while sibling threads run is undefined-behaviour territory on
+        POSIX, so the fork is front-loaded to a single-threaded moment.
+        """
+        return self._ensure_pool() is not None
+
     def run(self, tasks: list[tuple[int, int]]) -> list[tuple]:
         """Resynthesize every task; results align with the input order."""
         if not tasks:

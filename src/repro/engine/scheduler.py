@@ -57,6 +57,14 @@ class EngineParams:
     """Engine knobs on top of the base refactor parameters.
 
     ``workers = 0`` means auto (one worker per available core).
+
+    ``executor`` plugs in an externally owned :class:`ResynthExecutor`
+    so one worker pool can be shared across many engine passes — the
+    serving layer runs every circuit of a shard through the same pool
+    instead of forking a fresh one per pass.  An external executor
+    overrides ``workers`` (the pool was sized at construction) and is
+    left open when the pass finishes; its ``params`` are what pooled
+    resynthesis uses, so keep them consistent with ``refactor``.
     """
 
     refactor: RefactorParams = field(default_factory=RefactorParams)
@@ -65,8 +73,11 @@ class EngineParams:
     # sequential ELF operator (wave mode always classifies batched, one
     # fused inference per wave); mirrors ``ElfParams.batched``.
     elf_batched: bool = True
+    executor: "ResynthExecutor | None" = None
 
     def resolved_workers(self) -> int:
+        if self.executor is not None:
+            return self.executor.workers
         if self.workers > 0:
             return self.workers
         return os.cpu_count() or 1
@@ -183,9 +194,14 @@ def _wave_refactor(
     stats.n_waves = len(waves)
     stats.time_conflict = time.perf_counter() - t0
 
-    # Phases 3+4, wave by wave.
+    # Phases 3+4, wave by wave.  An external executor (serving layer)
+    # outlives this pass; an owned one is torn down with it.
     cache: dict = {}
-    with ResynthExecutor(workers, rparams) as executor:
+    executor = params.executor
+    own_executor = executor is None
+    if own_executor:
+        executor = ResynthExecutor(workers, rparams)
+    try:
         for wave in waves:
             _run_wave(
                 g,
@@ -197,6 +213,9 @@ def _wave_refactor(
                 executor,
                 stats,
             )
+    finally:
+        if own_executor:
+            executor.close()
     stats.time_total = time.perf_counter() - start
     return stats
 

@@ -5,6 +5,7 @@ from .experiments import (
     DEFAULT_TRAIN_CONFIG,
     EngineScalingRow,
     RedundancyRow,
+    ServeThroughputRow,
     StatsRow,
     comparison_rows,
     engine_scaling,
@@ -13,6 +14,7 @@ from .experiments import (
     loo_classifiers,
     model_quality,
     redundancy_rows,
+    serve_throughput,
     suite_datasets,
     suite_statistics,
 )
@@ -22,6 +24,7 @@ __all__ = [
     "DEFAULT_TRAIN_CONFIG",
     "EngineScalingRow",
     "RedundancyRow",
+    "ServeThroughputRow",
     "StatsRow",
     "cache_dir",
     "cached_classifier",
@@ -35,6 +38,7 @@ __all__ = [
     "loo_classifiers",
     "model_quality",
     "redundancy_rows",
+    "serve_throughput",
     "suite_datasets",
     "suite_statistics",
     "write_report",

@@ -220,6 +220,80 @@ def engine_scaling(
     return rows
 
 
+@dataclass
+class ServeThroughputRow:
+    """One circuit's outcome in a sharded serving run.
+
+    ``order`` is the streamed completion index; ``identical`` records
+    whether the streamed BENCH text matched a blocking per-circuit
+    ``run_flow`` byte for byte (``None`` when the check was skipped —
+    it is only a guarantee at ``workers=1``).
+    """
+
+    design: str
+    shard: int
+    order: int
+    runtime: float
+    n_ands_before: int
+    n_ands: int
+    level: int
+    identical: bool | None = None
+    error: str | None = None
+
+
+def serve_throughput(
+    suite: dict[str, AIG],
+    flow: str = "rf",
+    n_shards: int = 2,
+    workers: int = 1,
+    classifier: ElfClassifier | None = None,
+    check_identity: bool = True,
+):
+    """Sharded serving of ``suite`` + optional byte-identity audit.
+
+    Returns ``(rows, report)``: one :class:`ServeThroughputRow` per
+    circuit in completion order, plus the underlying
+    :class:`repro.serve.ServeReport` (shard plan, per-shard classifier
+    fusion stats, wall time / circuits-per-second).  With
+    ``check_identity`` every streamed result is re-derived by a blocking
+    sequential ``run_flow`` and compared byte for byte — the serving
+    layer's correctness contract at ``workers=1``.
+    """
+    from ..aig.io_bench import to_text
+    from ..opt.flow import run_flow
+    from ..serve import ServeParams, serve_suite
+
+    params = ServeParams(
+        flow=flow, n_shards=n_shards, workers=workers, keep_graphs=False
+    )
+    report = serve_suite(suite, params, classifier=classifier)
+    rows = []
+    for result in report.results:
+        identical = None
+        if check_identity and result.ok:
+            blocking, _ = run_flow(
+                suite[result.name].clone(),
+                flow,
+                classifier=classifier,
+                engine_workers=workers,
+            )
+            identical = to_text(blocking) == result.bench_text
+        rows.append(
+            ServeThroughputRow(
+                design=result.name,
+                shard=result.shard,
+                order=result.order,
+                runtime=result.runtime,
+                n_ands_before=result.n_ands_before,
+                n_ands=result.n_ands,
+                level=result.level,
+                identical=identical,
+                error=result.error,
+            )
+        )
+    return rows, report
+
+
 def model_quality(
     datasets: dict[str, CutDataset],
     classifiers: dict[str, ElfClassifier],

@@ -61,16 +61,27 @@ def run_flow(
     g: AIG,
     script: str = RESYN2,
     classifier=None,
+    engine_workers: int | None = None,
+    engine_executor=None,
 ) -> tuple[AIG, FlowReport]:
     """Execute a ``;``-separated command script; returns (network, report).
 
     Commands: ``b`` (balance), ``rw``/``rwz`` (rewrite / zero-cost),
-    ``rf``/``rfz`` (refactor / zero-cost), ``rs`` (resub), ``elf``/
-    ``elfz`` (ELF-pruned refactor; needs ``classifier``), ``pf``/``pfz``
-    (conflict-wave parallel refactor) and ``pelf``/``pelfz`` (parallel
-    ELF; needs ``classifier``).  A ``-l`` suffix preserves levels where
-    the operator supports it; the parallel commands accept ``-w N`` to
-    pin the worker count (default: one per core).
+    ``rf``/``rfz`` (refactor / zero-cost; ``f``/``fz`` are aliases),
+    ``rs`` (resub), ``elf``/``elfz`` (ELF-pruned refactor; needs
+    ``classifier``), ``pf``/``pfz`` (conflict-wave parallel refactor)
+    and ``pelf``/``pelfz`` (parallel ELF; needs ``classifier``).  A
+    ``-l`` suffix preserves levels where the operator supports it; the
+    parallel commands accept ``-w N`` to pin the worker count (default:
+    one per core).
+
+    The server hooks: ``engine_workers`` is the worker count applied to
+    parallel commands that carry no explicit ``-w`` (so a serving layer
+    can pin determinism-critical runs to one worker without rewriting
+    scripts), and ``engine_executor`` is a shared
+    :class:`repro.engine.ResynthExecutor` reused by every parallel step
+    instead of forking a pool per step (it overrides the worker count
+    and is left open).
     """
     report = FlowReport(script=script)
     for raw in script.split(";"):
@@ -78,7 +89,7 @@ def run_flow(
         if not command:
             continue
         t0 = time.perf_counter()
-        g, detail = _execute(g, command, classifier)
+        g, detail = _execute(g, command, classifier, engine_workers, engine_executor)
         report.steps.append(
             FlowStep(
                 command=command,
@@ -91,7 +102,7 @@ def run_flow(
     return g, report
 
 
-def _execute(g: AIG, command: str, classifier):
+def _execute(g: AIG, command: str, classifier, engine_workers=None, engine_executor=None):
     parts = command.split()
     op = parts[0]
     preserve = "-l" in parts[1:]
@@ -102,6 +113,8 @@ def _execute(g: AIG, command: str, classifier):
             g, RewriteParams(zero_cost=op.endswith("z"), preserve_levels=preserve)
         )
         return g, stats
+    if op in ("f", "fz"):  # ELF-paper spelling of the refactor command
+        op = "r" + op
     if op in ("rf", "rfz"):
         stats = refactor(
             g, RefactorParams(zero_cost=op.endswith("z"), preserve_levels=preserve)
@@ -129,13 +142,24 @@ def _execute(g: AIG, command: str, classifier):
             raise ReproError(f"flow step {op!r} requires a classifier")
         from ..engine import EngineParams, engine_refactor
 
+        workers = _parse_workers(parts[1:])
+        explicit = workers > 0
+        if not explicit and engine_workers is not None:
+            workers = engine_workers
+        # A script's explicit ``-w N`` always wins: a shared executor of a
+        # different width is dropped rather than silently overriding the
+        # pinned count (``pf -w 1`` must stay the bit-identical mode).
+        executor = engine_executor
+        if explicit and executor is not None and executor.workers != workers:
+            executor = None
         stats = engine_refactor(
             g,
             EngineParams(
                 refactor=RefactorParams(
                     zero_cost=op.endswith("z"), preserve_levels=preserve
                 ),
-                workers=_parse_workers(parts[1:]),
+                workers=workers,
+                executor=executor,
             ),
             classifier=classifier if op.startswith("pelf") else None,
         )

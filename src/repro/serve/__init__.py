@@ -1,0 +1,55 @@
+"""Sharded multi-circuit serving.
+
+The engine (:mod:`repro.engine`) parallelizes one refactor pass over one
+network; this subsystem serves a whole *suite* of circuits in flight:
+
+* :mod:`repro.serve.shard` — deterministic LPT partition of the suite
+  across shards (:func:`assign_shards` / :class:`ShardPlan`).
+* :mod:`repro.serve.pool` — shard-shared resources: one classifier
+  service per shard fusing ELF inference batches *across* circuits
+  (:class:`SharedClassifierService`, exact per-circuit semantics) and
+  one engine worker pool reused by every parallel flow step.
+* :mod:`repro.serve.stream` — the orchestrator: :func:`serve_stream`
+  yields per-circuit results in completion order instead of blocking on
+  the slowest shard; :func:`serve_suite` drains it into a
+  :class:`ServeReport` with throughput and batch-occupancy statistics.
+
+Quick use::
+
+    from repro.circuits import epfl_suite
+    from repro.serve import ServeParams, serve_suite
+
+    report = serve_suite(epfl_suite("tiny"), ServeParams(flow="rf", n_shards=2))
+    for r in report.results:          # completion order
+        print(r.order, r.name, r.n_ands_before, "->", r.n_ands)
+
+At ``workers=1`` every served result is byte-identical (BENCH text) to a
+blocking ``run_flow`` on that circuit alone; see ``docs/serving.md``.
+"""
+
+from .pool import (
+    FusedClassifierClient,
+    FusionStats,
+    SharedClassifierService,
+    max_explicit_workers,
+    needs_classifier,
+    needs_engine_pool,
+)
+from .shard import ShardPlan, assign_shards
+from .stream import ServeParams, ServeReport, ServeResult, serve_stream, serve_suite
+
+__all__ = [
+    "FusedClassifierClient",
+    "FusionStats",
+    "ServeParams",
+    "ServeReport",
+    "ServeResult",
+    "SharedClassifierService",
+    "ShardPlan",
+    "assign_shards",
+    "max_explicit_workers",
+    "needs_classifier",
+    "needs_engine_pool",
+    "serve_stream",
+    "serve_suite",
+]

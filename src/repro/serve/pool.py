@@ -1,0 +1,219 @@
+"""Shard-local resources: the shared classifier service and engine pool.
+
+Within one shard all circuits are served concurrently (one thread each),
+and two expensive resources are shared instead of replicated:
+
+* **Classifier service** (:class:`SharedClassifierService`) — ELF's
+  classifier is cheapest when inference is batched.  Per circuit the
+  operator already fuses all cut features into one matrix (the paper's
+  trick); the service goes one step further and fuses matrices *across
+  the circuits of a shard*: every circuit's pending ``keep_mask``
+  request is held until each still-running circuit of the shard has
+  either submitted its own request or finished, then a single stacked
+  forward pass (:meth:`repro.elf.ElfClassifier.fused_keep_masks`)
+  answers all of them.  Each sub-batch keeps its own MVN statistics, so
+  fusion preserves per-circuit decisions: probabilities match a private
+  classifier call to the last ulp (BLAS may pick a different kernel for
+  the stacked shape) and the resulting keep masks are bitwise-identical
+  in every test — fusion changes dispatch count, not decisions.
+
+* **Engine pool** — parallel flow commands (``pf*``/``pelf*``) normally
+  fork a fresh :class:`repro.engine.ResynthExecutor` per pass; the
+  serving layer builds one per shard and threads it through
+  ``run_flow(engine_executor=...)`` so every circuit of the shard reuses
+  the same worker processes.
+
+The barrier protocol makes fusion rounds deterministic: round ``r``
+always contains the ``r``-th request of every circuit that issues at
+least ``r`` requests, independent of thread timing, because a circuit
+blocks inside round ``r`` until the round fires and the round cannot
+fire while any live circuit is still working.  Occupancy statistics
+(:class:`FusionStats`) are therefore reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FusionStats:
+    """Occupancy record of one shard's fused classifier.
+
+    ``rounds[k] = (n_subbatches, n_rows)``: how many circuits and how
+    many feature rows round ``k`` served with a single inference.
+    """
+
+    rounds: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def n_calls(self) -> int:
+        """Fused inference dispatches actually issued."""
+        return len(self.rounds)
+
+    @property
+    def n_subbatches(self) -> int:
+        """Per-circuit requests served (what unfused serving would dispatch)."""
+        return sum(r[0] for r in self.rounds)
+
+    @property
+    def n_rows(self) -> int:
+        """Total feature rows classified."""
+        return sum(r[1] for r in self.rounds)
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Average circuits per fused call (1.0 = no cross-circuit fusion)."""
+        return self.n_subbatches / self.n_calls if self.rounds else 0.0
+
+    @property
+    def mean_rows(self) -> float:
+        """Average feature rows per fused call."""
+        return self.n_rows / self.n_calls if self.rounds else 0.0
+
+    @property
+    def amortization(self) -> float:
+        """Fraction of inference dispatches eliminated by fusion."""
+        if self.n_subbatches == 0:
+            return 0.0
+        return 1.0 - self.n_calls / self.n_subbatches
+
+
+class SharedClassifierService:
+    """Fuses concurrent ``keep_mask`` requests from one shard's circuits.
+
+    Construct with the real classifier and the *complete* list of
+    circuit names the shard will run, **before** any circuit thread
+    starts; each thread then works through a :meth:`client` proxy and
+    must deregister (the proxy is a context manager) when its flow ends,
+    successfully or not — a vanished client would otherwise stall the
+    barrier forever.
+    """
+
+    def __init__(self, classifier, names: list[str]) -> None:
+        self.classifier = classifier
+        self.stats = FusionStats()
+        self._cond = threading.Condition()
+        self._live: set[str] = set(names)
+        self._pending: dict[str, np.ndarray] = {}
+        self._results: dict[str, object] = {}
+        if len(self._live) != len(names):
+            raise ValueError("duplicate circuit names in one shard")
+
+    def client(self, name: str) -> "FusedClassifierClient":
+        """The classifier proxy circuit ``name`` should use."""
+        return FusedClassifierClient(self, name)
+
+    # -- protocol used by the clients ---------------------------------------
+
+    def submit(self, name: str, features: np.ndarray) -> np.ndarray:
+        """Block until ``features`` is classified in a fused round."""
+        with self._cond:
+            if name not in self._live:
+                raise RuntimeError(f"client {name!r} is not registered")
+            self._pending[name] = features
+            self._maybe_fire()
+            while name not in self._results:
+                self._cond.wait()
+            result = self._results.pop(name)
+        if isinstance(result, BaseException):
+            raise result
+        return result
+
+    def finish(self, name: str) -> None:
+        """Deregister ``name``; later rounds no longer wait for it."""
+        with self._cond:
+            self._live.discard(name)
+            self._pending.pop(name, None)
+            self._maybe_fire()
+            self._cond.notify_all()
+
+    def _maybe_fire(self) -> None:
+        # A round fires only when every live circuit has a request on the
+        # table; fired under the lock by whichever thread completed the set.
+        if not self._pending or set(self._pending) != self._live:
+            return
+        names = sorted(self._pending)
+        batches = [self._pending[n] for n in names]
+        try:
+            masks = self.classifier.fused_keep_masks(batches)
+            self.stats.rounds.append(
+                (len(batches), sum(int(b.shape[0]) for b in batches))
+            )
+            self._results.update(zip(names, masks))
+        except Exception as error:  # propagate to every waiter, not one
+            self._results.update({n: error for n in names})
+        self._pending.clear()
+        self._cond.notify_all()
+
+
+class FusedClassifierClient:
+    """Per-circuit classifier facade routed through the shared service.
+
+    Implements the only method the operators call on a classifier
+    (``keep_mask``); everything else (threshold, probabilities) proxies
+    the wrapped classifier directly.
+    """
+
+    def __init__(self, service: SharedClassifierService, name: str) -> None:
+        self._service = service
+        self.name = name
+
+    @property
+    def threshold(self) -> float:
+        return self._service.classifier.threshold
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return self._service.classifier.predict_proba(features)
+
+    def keep_mask(self, features: np.ndarray) -> np.ndarray:
+        return self._service.submit(self.name, np.asarray(features, dtype=np.float64))
+
+    def finish(self) -> None:
+        self._service.finish(self.name)
+
+    def __enter__(self) -> "FusedClassifierClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.finish()
+
+
+def needs_classifier(script: str) -> bool:
+    """Does any command of ``script`` consult the ELF classifier?"""
+    return any(
+        part.strip().split()[0] in ("elf", "elfz", "pelf", "pelfz")
+        for part in script.split(";")
+        if part.strip()
+    )
+
+
+def needs_engine_pool(script: str) -> bool:
+    """Does any command of ``script`` dispatch to the engine worker pool?"""
+    return any(
+        part.strip().split()[0] in ("pf", "pfz", "pelf", "pelfz")
+        for part in script.split(";")
+        if part.strip()
+    )
+
+
+def max_explicit_workers(script: str) -> int:
+    """Largest explicit ``-w N`` on any parallel command (0 when none).
+
+    The serving layer sizes each shard's pool to cover the script's own
+    worker pins, so even a ``pf -w 4`` step under ``ServeParams(workers=1)``
+    finds a pre-forked pool instead of forking one inside a circuit
+    thread (see :meth:`repro.engine.ResynthExecutor.warm`).
+    """
+    best = 0
+    for part in script.split(";"):
+        tokens = part.strip().split()
+        if not tokens or tokens[0] not in ("pf", "pfz", "pelf", "pelfz"):
+            continue
+        for i, token in enumerate(tokens):
+            if token == "-w" and i + 1 < len(tokens) and tokens[i + 1].isdigit():
+                best = max(best, int(tokens[i + 1]))
+    return best

@@ -1,0 +1,262 @@
+"""Streamed execution of a flow over a sharded circuit suite.
+
+:func:`serve_stream` is the serving entry point: it shards the suite
+(:mod:`repro.serve.shard`), provisions each shard's shared resources
+(:mod:`repro.serve.pool`), runs the requested flow on every circuit, and
+yields a :class:`ServeResult` per circuit **in completion order** — a
+fast circuit on shard 0 is delivered while a slow circuit on shard 1 is
+still refactoring, so consumers (dashboards, downstream tooling, the
+throughput benchmark) never block on the slowest shard.
+
+Two properties the tests pin down:
+
+* **Content determinism.**  Completion *order* depends on timing, but
+  each circuit's *result* does not: flows run on private clones, fused
+  classification preserves per-circuit semantics exactly, and at
+  ``workers=1`` every engine command delegates to the sequential
+  operators — so a served circuit's BENCH text is byte-identical to a
+  blocking ``run_flow`` on that circuit alone.
+* **Isolation.**  A circuit whose flow raises reports the error in its
+  result; the other circuits of the shard still complete (the failed
+  circuit deregisters from the classifier barrier on the way out).
+
+:func:`serve_suite` is the blocking wrapper: it drains the stream and
+returns a :class:`ServeReport` with the plan, per-shard fusion
+statistics and aggregate throughput.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..aig.graph import AIG
+from ..aig.io_bench import to_text
+from ..opt.flow import FlowReport, run_flow
+from .pool import (
+    FusionStats,
+    SharedClassifierService,
+    max_explicit_workers,
+    needs_classifier,
+    needs_engine_pool,
+)
+from .shard import ShardPlan, assign_shards
+
+
+@dataclass
+class ServeParams:
+    """Serving-run configuration.
+
+    ``flow`` is any :func:`repro.opt.flow.run_flow` script.  ``workers``
+    is applied to parallel commands without an explicit ``-w`` (and
+    sizes the per-shard engine pool); ``workers=1`` is the deterministic
+    mode whose outputs are bit-identical to sequential runs.
+    ``fuse_classifier=False`` gives every circuit a private classifier
+    call (the ablation the occupancy stats are compared against).
+    ``keep_graphs=False`` drops result graphs to bound memory on large
+    suites (the BENCH text, enough for verification, is always kept).
+    """
+
+    flow: str = "rf"
+    n_shards: int = 2
+    workers: int = 1
+    fuse_classifier: bool = True
+    keep_graphs: bool = True
+
+
+@dataclass
+class ServeResult:
+    """Outcome of serving one circuit."""
+
+    name: str
+    shard: int
+    order: int = -1  # completion index over the whole run, set on yield
+    runtime: float = 0.0
+    n_ands_before: int = 0
+    level_before: int = 0
+    n_ands: int = 0
+    level: int = 0
+    report: FlowReport | None = None
+    graph: AIG | None = None
+    bench_text: str | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class ServeReport:
+    """Aggregate view of a completed serving run."""
+
+    plan: ShardPlan
+    results: list[ServeResult] = field(default_factory=list)
+    fusion: dict[int, FusionStats] = field(default_factory=dict)
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def circuits_per_second(self) -> float:
+        return len(self.results) / self.wall_time if self.wall_time > 0 else 0.0
+
+    def result_of(self, name: str) -> ServeResult:
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(name)
+
+
+def serve_stream(
+    suite: dict[str, AIG],
+    params: ServeParams | None = None,
+    classifier=None,
+    cost: dict[str, int] | None = None,
+    fusion_out: dict[int, FusionStats] | None = None,
+    plan: ShardPlan | None = None,
+) -> Iterator[ServeResult]:
+    """Serve ``suite`` through ``params.flow``; yield results as they land.
+
+    Input graphs are never mutated (each circuit runs on a clone).
+    ``fusion_out`` (shard index -> :class:`FusionStats`) is populated as
+    shards spin up, letting callers read occupancy after the stream is
+    drained; :func:`serve_suite` does exactly that, and also passes the
+    ``plan`` it reports so the two never diverge.
+    """
+    params = params or ServeParams()
+    if plan is None:
+        plan = assign_shards(suite, params.n_shards, cost)
+    fuse = (
+        classifier is not None
+        and params.fuse_classifier
+        and needs_classifier(params.flow)
+    )
+    # The shard pool must cover the script's own -w pins as well as the
+    # serve-level default, so no engine pass ever forks a pool from
+    # inside a circuit thread (scripts mixing *different* explicit -w
+    # widths still fall back to private per-pass pools; prefer one
+    # engine width per served flow).
+    pool_workers = params.workers if params.workers > 0 else (os.cpu_count() or 1)
+    pool_workers = max(pool_workers, max_explicit_workers(params.flow))
+    results: queue.Queue[ServeResult] = queue.Queue()
+    threads: list[threading.Thread] = []
+    executors = []
+    for shard_index, names in enumerate(plan.shards):
+        service = None
+        if fuse and len(names) > 0:
+            service = SharedClassifierService(classifier, list(names))
+            if fusion_out is not None:
+                fusion_out[shard_index] = service.stats
+        executor = None
+        if needs_engine_pool(params.flow) and pool_workers > 1:
+            from ..engine.parallel import ResynthExecutor
+            from ..opt.refactor import RefactorParams
+
+            # One pool per shard, forked now while the process is still
+            # single-threaded; resynthesis is invariant to the per-command
+            # zero-cost / level flags, so defaults serve every step.
+            executor = ResynthExecutor(pool_workers, RefactorParams())
+            executor.warm()
+            executors.append(executor)
+        for name in names:
+            threads.append(
+                threading.Thread(
+                    target=_serve_one,
+                    name=f"serve-{name}",
+                    args=(
+                        name,
+                        suite[name],
+                        shard_index,
+                        params,
+                        classifier,
+                        service,
+                        executor,
+                        results,
+                    ),
+                    daemon=True,
+                )
+            )
+    try:
+        for thread in threads:
+            thread.start()
+        for order in range(len(threads)):
+            result = results.get()
+            result.order = order
+            yield result
+    finally:
+        for thread in threads:
+            thread.join()
+        for executor in executors:
+            executor.close()
+
+
+def serve_suite(
+    suite: dict[str, AIG],
+    params: ServeParams | None = None,
+    classifier=None,
+    cost: dict[str, int] | None = None,
+) -> ServeReport:
+    """Blocking serve: drain :func:`serve_stream`, return the full report."""
+    params = params or ServeParams()
+    plan = assign_shards(suite, params.n_shards, cost)
+    fusion: dict[int, FusionStats] = {}
+    t0 = time.perf_counter()
+    results = list(
+        serve_stream(suite, params, classifier, cost, fusion_out=fusion, plan=plan)
+    )
+    return ServeReport(
+        plan=plan,
+        results=results,
+        fusion=fusion,
+        wall_time=time.perf_counter() - t0,
+    )
+
+
+def _serve_one(
+    name: str,
+    g: AIG,
+    shard: int,
+    params: ServeParams,
+    classifier,
+    service: SharedClassifierService | None,
+    executor,
+    results: "queue.Queue[ServeResult]",
+) -> None:
+    """Thread body: run the flow on a clone, push one result, always."""
+    result = ServeResult(
+        name=name,
+        shard=shard,
+        n_ands_before=g.n_ands,
+        level_before=g.max_level(),
+    )
+    client = service.client(name) if service is not None else None
+    t0 = time.perf_counter()
+    try:
+        step_classifier = client if client is not None else classifier
+        out, report = run_flow(
+            g.clone(),
+            params.flow,
+            classifier=step_classifier,
+            engine_workers=params.workers if params.workers > 0 else None,
+            engine_executor=executor,
+        )
+        result.report = report
+        result.n_ands = out.n_ands
+        result.level = out.max_level()
+        result.bench_text = to_text(out)
+        if params.keep_graphs:
+            result.graph = out
+    except Exception as error:
+        result.error = f"{type(error).__name__}: {error}"
+    finally:
+        if client is not None:
+            client.finish()
+        result.runtime = time.perf_counter() - t0
+        results.put(result)
