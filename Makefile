@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test test-fast docs-check bench bench-serve bench-all clean
+.PHONY: test test-fast docs-check bench bench-serve bench-all profile clean
 
 test: docs-check
 	$(PYTHON) -m pytest -x -q
@@ -12,14 +12,20 @@ test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
 
 # Documentation gate: module docstrings in repro.engine / repro.serve
-# plus executable README examples (tools/docs_check.py).
+# and the simulation kernels, plus executable README examples
+# (tools/docs_check.py).
 docs-check:
 	$(PYTHON) tools/docs_check.py
 
 # Engine scaling benchmark (no classifier training needed; writes
-# benchmarks/results/engine_scaling.json and a rendered table).
+# benchmarks/results/engine_scaling.json, a rendered table, and the
+# repo-level BENCH_engine.json perf trajectory).
 bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_scaling.py
+
+# resyn2 runtime profile (refactor's share of the flow, paper SS II).
+profile:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_flow_profile.py -q
 
 # Sharded serving throughput + classifier batch occupancy (writes
 # benchmarks/results/serve_throughput.json and a rendered table).

@@ -6,7 +6,16 @@ verified equivalent to its input (exact exhaustive-simulation CEC — the
 circuits keep <= 16 PIs for precisely this reason) and its AND count is
 compared against the sequential sweep.  Results go to
 ``benchmarks/results/engine_scaling.json`` (machine-readable, alongside
-the rendered table) so scaling regressions are diffable across runs.
+the rendered table) and a standardized summary — runtime, speedup,
+re-snapshot rate and AND-diff per (circuit, workers) — is additionally
+written to the repo-level ``BENCH_engine.json`` so successive PRs leave
+a diffable perf trajectory.
+
+Staleness is reported as ``stale -> resnap``: the sequential-fallback
+replay counter (structurally zero since the incremental re-snapshot
+pipeline landed) next to the number of cross-wave snapshot refreshes
+that replaced it, plus the resynthesis dedup rate (wave-level dedup +
+cross-pass/NPN cache).
 
 Wall-clock speedup from worker parallelism requires actual cores: the
 engine's dominant phase (ISOP + factoring in the worker pool) is pure
@@ -30,6 +39,7 @@ CIRCUITS = (
     ("layered-5k", dict(n_pis=14, n_ands=5500, seed=11)),
     ("layered-8k", dict(n_pis=16, n_ands=8000, seed=23)),
 )
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def measure_circuit(name: str, spec: dict, workers=WORKER_COUNTS) -> dict:
@@ -58,6 +68,8 @@ def measure_circuit(name: str, spec: dict, workers=WORKER_COUNTS) -> dict:
                 "commits": row.commits,
                 "n_waves": row.n_waves,
                 "n_stale": row.n_stale,
+                "n_resnapshotted": row.n_resnapshotted,
+                "dedup_rate": row.dedup_rate,
                 "equivalent": bool(equivalent(g, row.graph)),
             }
             for row in engine_rows
@@ -76,7 +88,56 @@ def run_scaling(circuits=CIRCUITS, workers=WORKER_COUNTS) -> dict:
     (results_dir / "engine_scaling.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
+    write_bench_summary(payload)
     return payload
+
+
+def write_bench_summary(payload: dict, path: Path | None = None) -> dict:
+    """Standardized repo-level ``BENCH_engine.json`` perf trajectory.
+
+    One flat record per (circuit, workers) with the headline quantities —
+    runtime, speedup, stale/re-snapshot counters, AND-diff — so future
+    PRs can diff engine performance without parsing the full report.
+    """
+    records = []
+    for result in payload["results"]:
+        records.append(
+            {
+                "circuit": result["circuit"],
+                "mode": "sequential",
+                "workers": 0,
+                "runtime_s": round(result["sequential"]["runtime"], 4),
+                "speedup": 1.0,
+                "n_ands": result["sequential"]["n_ands"],
+                "and_diff_pct": 0.0,
+                "n_stale": 0,
+                "n_resnapshotted": 0,
+                "dedup_rate": 0.0,
+            }
+        )
+        for point in result["engine"]:
+            records.append(
+                {
+                    "circuit": result["circuit"],
+                    "mode": f"engine-w{point['workers']}",
+                    "workers": point["workers"],
+                    "runtime_s": round(point["runtime"], 4),
+                    "speedup": round(point["speedup"], 4),
+                    "n_ands": point["n_ands"],
+                    "and_diff_pct": round(point["and_diff_pct"], 4),
+                    "n_stale": point["n_stale"],
+                    "n_resnapshotted": point["n_resnapshotted"],
+                    "dedup_rate": round(point["dedup_rate"], 4),
+                }
+            )
+    summary = {
+        "benchmark": "engine_scaling",
+        "cores": payload["cores"],
+        "records": records,
+    }
+    target = path or (REPO_ROOT / "BENCH_engine.json")
+    target.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    return summary
 
 
 def render(payload: dict) -> str:
@@ -91,6 +152,8 @@ def render(payload: dict) -> str:
                 result["sequential"]["n_ands"],
                 "-",
                 "-",
+                "-",
+                "-",
             ]
         )
         for point in result["engine"]:
@@ -102,11 +165,23 @@ def render(payload: dict) -> str:
                     f"{point['speedup']:.2f}x",
                     point["n_ands"],
                     f"{point['and_diff_pct']:+.2f}%",
+                    f"{point['n_stale']} -> {point['n_resnapshotted']}",
+                    f"{100.0 * point['dedup_rate']:.1f}%",
                     "yes" if point["equivalent"] else "NO",
                 ]
             )
     return format_table(
-        ["Circuit", "Mode", "Runtime", "Speedup", "ANDs", "And diff", "CEC"],
+        [
+            "Circuit",
+            "Mode",
+            "Runtime",
+            "Speedup",
+            "ANDs",
+            "And diff",
+            "Stale->Resnap",
+            "Dedup",
+            "CEC",
+        ],
         rows,
         title=f"Conflict-wave engine scaling ({payload['cores']} core(s) available)",
     )
@@ -126,6 +201,11 @@ def test_engine_scaling(benchmark):
             # 2% of the sequential sweep's quality.
             assert point["equivalent"], (result["circuit"], point["workers"])
             assert abs(point["and_diff_pct"]) <= 2.0, point
+            # The sequential fallback is gone: staleness is handled by the
+            # incremental re-snapshot pipeline instead.
+            assert point["n_stale"] == 0, point
+            if point["workers"] > 1:
+                assert point["n_resnapshotted"] > 0, point
     # Worker scaling is only observable with real cores behind the pool.
     if payload["cores"] >= 4:
         four = [
@@ -139,5 +219,7 @@ def test_engine_scaling(benchmark):
 
 if __name__ == "__main__":
     report = run_scaling()
-    print(render(report))
-    print("\nwritten: benchmarks/results/engine_scaling.json")
+    text = render(report)
+    write_report("engine_scaling", text)
+    print(text)
+    print("\nwritten: benchmarks/results/engine_scaling.{json,txt} and BENCH_engine.json")

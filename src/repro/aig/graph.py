@@ -15,7 +15,10 @@ This mirrors the core of ABC's strashed AIG network:
 * :meth:`AIG.replace` substitutes a node by an arbitrary literal, patching
   fanouts, merging structural duplicates that the patch creates (ABC's
   ``Abc_AigReplace`` cascade), propagating level updates and garbage
-  collecting the dead cone.
+  collecting the dead cone;
+* every kill and in-place fanin rewire is journaled per epoch
+  (:meth:`AIG.drain_dirty`), which is how the parallel engine maps a wave
+  of commits to the exact set of candidate snapshots it invalidated.
 
 The class is deliberately index-based (parallel lists) rather than
 object-based: Python object graphs are several times slower and this
@@ -24,7 +27,7 @@ structure is the hot path of every operator in the library.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, NamedTuple
 
 from ..errors import AigError
 from .literal import (
@@ -38,6 +41,27 @@ from .literal import (
 _PI_MARK = -1
 _CONST_MARK = -2
 _DEAD_MARK = -3
+
+
+class DirtyJournal(NamedTuple):
+    """One epoch of structural damage, drained via :meth:`AIG.drain_dirty`.
+
+    ``killed`` are nodes that died (GC, strash merges, the replaced node
+    itself); ``rewired`` are surviving AND nodes whose fanin literals were
+    patched in place.  A snapshot of a cut cone taken before the epoch is
+    certainly still valid when the cone avoids ``killed``: an in-place
+    rewire only ever happens where the rewired node's old fanin died, so
+    any rewire inside a cone is always accompanied by a kill inside it
+    (cut closure), and rewired *leaves* keep their function (replacement
+    preserves the functionality of every survivor).
+    """
+
+    killed: frozenset[int]
+    rewired: frozenset[int]
+
+    @property
+    def empty(self) -> bool:
+        return not self.killed and not self.rewired
 
 
 class AIG:
@@ -66,6 +90,12 @@ class AIG:
         # Monotone counter bumped by every structural change; used by
         # consumers (cuts, required levels) to detect staleness.
         self.edit_stamp = 0
+        # Dirty journal of the current epoch: nodes killed and fanouts
+        # rewired by replace()/GC since the last drain_dirty().  This is
+        # what lets the engine invalidate exactly the snapshots an epoch
+        # of commits touched instead of liveness-probing every candidate.
+        self._dirty_killed: set[int] = set()
+        self._dirty_rewired: set[int] = set()
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -148,6 +178,15 @@ class AIG:
     def fanouts(self, node: int) -> list[int]:
         """Live AND nodes that use ``node`` as a fanin (copy)."""
         return list(self._fanouts[node])
+
+    def iter_fanouts(self, node: int) -> Iterator[int]:
+        """Zero-copy iteration over ``node``'s AND fanouts.
+
+        Unlike :meth:`fanouts` this does not copy the fanout list, so the
+        graph must not be mutated while the iterator is live — the read
+        paths (traversals, cut growth, divisor filtering) qualify.
+        """
+        return iter(self._fanouts[node])
 
     def n_fanouts(self, node: int) -> int:
         """Total fanout count: AND fanouts plus PO uses.
@@ -287,6 +326,9 @@ class AIG:
         if not self.is_and(old_node) and not self.is_pi(old_node):
             raise AigError(f"cannot replace node {old_node}")
         ands_before = self._n_live_ands
+        # The replaced node is functionally gone even when the slot
+        # survives (a replaced PI is never GC'd): journal it as killed.
+        self._dirty_killed.add(old_node)
         # Work stack of definitive replacement facts (node -> literal).
         # Targets are pinned (refs bumped) so cascading GC cannot free a
         # literal that a pending patch still needs.
@@ -348,6 +390,7 @@ class AIG:
         self._connect(new_fanin, fanout)
         self._fanin0[fanout], self._fanin1[fanout] = a, b
         self._strash[(a, b)] = fanout
+        self._dirty_rewired.add(fanout)
         self._update_level(fanout)
         return None
 
@@ -367,12 +410,36 @@ class AIG:
             self._fanin0[top] = _DEAD_MARK
             self._fanin1[top] = _DEAD_MARK
             self._fanouts[top].clear()
+            self._dirty_killed.add(top)
             self._n_live_ands -= 1
             for fanin_lit in (f0, f1):
                 fanin = lit_node(fanin_lit)
                 self._disconnect(fanin_lit, top)
                 if self.is_and(fanin) and self._refs[fanin] == 0:
                     stack.append(fanin)
+
+    # ------------------------------------------------------------------
+    # Dirty journal
+    # ------------------------------------------------------------------
+
+    def drain_dirty(self) -> DirtyJournal:
+        """Return and clear the epoch's structural-damage journal.
+
+        An epoch is everything since the previous drain (or construction).
+        The engine drains once per committed replacement — reported up
+        through ``commit_tree`` — and maps the killed set through its
+        candidate index to find exactly the snapshots that went stale.
+        Sequential operator passes drain once at entry, retiring the
+        previous epoch; between drains the journal is bounded by the
+        allocated slot count (ids live in sets), never by the number of
+        edits.
+        """
+        journal = DirtyJournal(
+            frozenset(self._dirty_killed), frozenset(self._dirty_rewired)
+        )
+        self._dirty_killed.clear()
+        self._dirty_rewired.clear()
+        return journal
 
     # ------------------------------------------------------------------
     # Level maintenance

@@ -13,8 +13,8 @@ leaves and therefore keeps them alive.
 
 from __future__ import annotations
 
+from ..errors import AigError
 from .graph import AIG
-from .literal import lit_node
 
 
 def mffc_deref(g: AIG, root: int, boundary: set[int] | None = None) -> list[int]:
@@ -24,15 +24,18 @@ def mffc_deref(g: AIG, root: int, boundary: set[int] | None = None) -> list[int]
     deletion or call :func:`mffc_ref` with the same arguments to restore.
     ``boundary`` nodes are never dereferenced (cut leaves).
     """
+    if not g.is_and(root):
+        raise AigError(f"node {root} is not an AND node")
     freed = [root]
     stack = [root]
     refs = g._refs
+    fanin0, fanin1 = g._fanin0, g._fanin1
     while stack:
         node = stack.pop()
-        f0, f1 = g.fanin_lits(node)
-        for fanin_lit in (f0, f1):
-            fanin = lit_node(fanin_lit)
-            if not g.is_and(fanin) or (boundary is not None and fanin in boundary):
+        # Inner loop on the raw parallel arrays: this sweep runs twice per
+        # gain check on every candidate, so accessor/tuple overhead counts.
+        for fanin in (fanin0[node] >> 1, fanin1[node] >> 1):
+            if fanin0[fanin] < 0 or (boundary is not None and fanin in boundary):
                 continue
             refs[fanin] -= 1
             if refs[fanin] == 0:
@@ -43,15 +46,16 @@ def mffc_deref(g: AIG, root: int, boundary: set[int] | None = None) -> list[int]
 
 def mffc_ref(g: AIG, root: int, boundary: set[int] | None = None) -> int:
     """Re-reference ``root``'s cone (inverse of :func:`mffc_deref`)."""
+    if not g.is_and(root):
+        raise AigError(f"node {root} is not an AND node")
     count = 1
     stack = [root]
     refs = g._refs
+    fanin0, fanin1 = g._fanin0, g._fanin1
     while stack:
         node = stack.pop()
-        f0, f1 = g.fanin_lits(node)
-        for fanin_lit in (f0, f1):
-            fanin = lit_node(fanin_lit)
-            if not g.is_and(fanin) or (boundary is not None and fanin in boundary):
+        for fanin in (fanin0[node] >> 1, fanin1[node] >> 1):
+            if fanin0[fanin] < 0 or (boundary is not None and fanin in boundary):
                 continue
             if refs[fanin] == 0:
                 count += 1

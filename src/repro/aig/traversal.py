@@ -69,7 +69,7 @@ def transitive_fanout(g: AIG, roots: list[int]) -> set[int]:
         if node in seen:
             continue
         seen.add(node)
-        stack.extend(g.fanouts(node))
+        stack.extend(g.iter_fanouts(node))
     return seen
 
 

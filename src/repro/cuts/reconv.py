@@ -89,8 +89,8 @@ def reconv_cut(
         interior.add(best_leaf)
         if collect_features:
             # Outward edges of the expanded node: its total fanout minus
-            # edges to nodes already inside the cone.
-            inside = sum(1 for f in g._fanouts[best_leaf] if f in interior)
+            # edges to nodes already inside the cone (zero-copy iteration).
+            inside = sum(1 for f in g.iter_fanouts(best_leaf) if f in interior)
             cut_fanout += refs[best_leaf] - inside
             for fanin_lit in (fanin0[best_leaf], fanin1[best_leaf]):
                 fanin = fanin_lit >> 1

@@ -44,19 +44,29 @@ def elf_refactor(
     classifier: ElfClassifier,
     params: ElfParams | None = None,
     collector=None,
+    cache: dict | None = None,
 ) -> RefactorStats:
     """One ELF pass over ``g`` in place; returns stats incl. prune counts.
 
     ``collector(features, committed)`` sees only non-pruned nodes (the
     pruned ones never reach resynthesis, exactly as in Algorithm 2).
+
+    ``cache`` plugs in an externally owned resynthesis cache (e.g. a
+    flow-level :class:`repro.engine.ResynthCache`): entries are pure
+    functions of ``(tt, n_leaves)`` under fixed factoring knobs, so the
+    second ``elf`` of an ``elf; elf`` flow reuses the first pass's
+    factored forms with bit-identical results (all sharers must use the
+    same ``try_complement``/``method`` settings, as flows do).
     """
     params = params or ElfParams()
     stats = RefactorStats()
+    g.drain_dirty()  # sequential pass: retire the previous journal epoch
     start = time.perf_counter()
     required = RequiredLevels(g) if params.refactor.preserve_levels else None
 
     nodes = g.and_ids()
-    cache: dict = {}
+    if cache is None:
+        cache = {}
     if params.batched:
         keep = _batch_classify(g, nodes, classifier, params, stats)
     else:

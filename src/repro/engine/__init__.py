@@ -5,22 +5,29 @@ lever ELF adds on top is classifier pruning.  This subsystem adds the
 other lever: MFFC-disjoint candidates are grouped into conflict-free
 commit waves (:mod:`repro.engine.conflict`), each wave's unique cut
 functions are resynthesized by a worker pool off the main graph
-(:mod:`repro.engine.parallel`), and winning commits are replayed
-serially (:mod:`repro.engine.scheduler`).  ``workers=1`` delegates to
-the sequential operators, bit for bit.
+(:mod:`repro.engine.parallel`) through a cross-pass NPN-aware cache
+(:mod:`repro.engine.cache`), and winning commits are replayed serially
+(:mod:`repro.engine.scheduler`).  Snapshots an earlier wave invalidates
+are incrementally re-cut and re-waved via the graph's dirty journal and
+the candidate inverted index — there is no sequential fallback.
+``workers=1`` delegates to the sequential operators, bit for bit.
 """
 
-from .conflict import Candidate, build_conflict_graph, color_waves
+from .cache import ResynthCache, remap_tree
+from .conflict import Candidate, CandidateIndex, build_conflict_graph, color_waves
 from .parallel import ResynthExecutor, resynthesize_batch
 from .scheduler import EngineParams, EngineStats, engine_refactor
 
 __all__ = [
     "Candidate",
+    "CandidateIndex",
     "EngineParams",
     "EngineStats",
+    "ResynthCache",
     "ResynthExecutor",
     "build_conflict_graph",
     "color_waves",
     "engine_refactor",
+    "remap_tree",
     "resynthesize_batch",
 ]

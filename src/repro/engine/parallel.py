@@ -18,6 +18,7 @@ evaluation, which is bit-identical because workers run the same
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 
 from ..opt.refactor import RefactorParams, _resynthesize
 
@@ -60,8 +61,13 @@ class ResynthExecutor:
         """Whether ``run`` would dispatch this many tasks to the pool.
 
         Tail waves shrink geometrically; below ~4 tasks per worker the
-        dispatch + result pickling costs more than the work itself.
+        dispatch + result pickling costs more than the work itself.  A
+        single-core host never pools: the workers would time-slice the
+        one CPU the parent already occupies, so every dispatch and every
+        pickled factored form is pure overhead there.
         """
+        if (os.cpu_count() or 1) < 2:
+            return False
         return n_tasks >= self.workers * 4 and not self.in_process
 
     def warm(self) -> bool:

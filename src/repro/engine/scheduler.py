@@ -7,21 +7,31 @@ One engine pass over a network runs in four phases:
    features, exactly once, on the unmodified graph.
 2. **Conflict planning** — candidates whose commits could interfere are
    linked in a conflict graph (:mod:`repro.engine.conflict`) and greedily
-   colored into conflict-free commit waves.
+   colored into conflict-free commit waves; the same sweep builds the
+   inverted candidate index the incremental machinery runs on.
 3. **Per wave** — features of the wave's members are stacked into one
    matrix and classified with a single fused inference (the paper's
    batching trick, applied per wave); survivors' truth tables are
-   computed on the main graph; the wave's *unique* cut functions are
-   resynthesized by the worker pool (:mod:`repro.engine.parallel`).
-4. **Serial replay** — winning factored forms are gain-checked and
-   committed one by one in ascending node order through the same
-   ``commit_tree`` the sequential operator uses, so structural soundness
-   and functional equivalence are inherited, not re-proven.
-
-Snapshot data can go stale across waves (an earlier commit killed part
-of a candidate's cone); such candidates fall back to the sequential
-per-node path inline, which costs runtime but never quality — the same
-staleness argument the paper makes for batched classification.
+   computed by the multi-root batch kernel
+   (:func:`repro.aig.simulate.batch_cone_truths`); the wave's *unique,
+   uncached* cut functions are resynthesized by the worker pool
+   (:mod:`repro.engine.parallel`) through the cross-pass NPN-aware cache
+   (:mod:`repro.engine.cache`); winning forms are gain-checked and
+   committed serially in ascending node order through the same
+   ``commit_tree`` the sequential operator uses.
+4. **Incremental re-snapshot** — each commit drains the graph's dirty
+   journal; the killed set, pushed through the candidate index, yields
+   the exact set of candidates whose snapshots the commit invalidated
+   (O(damage), no per-candidate liveness probing).  An invalidated
+   candidate scheduled in a later wave keeps its slot and is re-cut
+   lazily when that wave starts (so each wave arrival pays exactly one
+   refresh); an invalidated member of the *running* wave is deferred at
+   replay and lands in a **repair wave** that runs immediately after —
+   the wave effectively splits at the first realized conflict, keeping
+   the global commit order close to the sequential sweep's node order.
+   There is no sequential fallback: ``n_stale`` is structurally zero,
+   and every node — fresh or refreshed — flows through the same batched
+   classify/truth/resynth pipeline.
 
 ``workers <= 1`` bypasses all of the above and *delegates* to the
 sequential operators, which makes the single-worker engine bit-identical
@@ -38,7 +48,7 @@ from dataclasses import dataclass, field
 from ..aig.graph import AIG
 from ..aig.levels import RequiredLevels
 from ..aig.mffc import mffc_nodes
-from ..aig.simulate import cone_truth
+from ..aig.simulate import batch_cone_truths
 from ..cuts.features import stack_features
 from ..cuts.reconv import reconv_cut
 from ..opt.refactor import (
@@ -46,9 +56,9 @@ from ..opt.refactor import (
     RefactorStats,
     commit_tree,
     refactor,
-    refactor_node,
 )
-from .conflict import Candidate, build_conflict_graph, color_waves
+from .cache import ResynthCache
+from .conflict import Candidate, CandidateIndex, build_conflict_graph, color_waves
 from .parallel import ResynthExecutor
 
 
@@ -65,6 +75,14 @@ class EngineParams:
     overrides ``workers`` (the pool was sized at construction) and is
     left open when the pass finishes; its ``params`` are what pooled
     resynthesis uses, so keep them consistent with ``refactor``.
+
+    ``resynth_cache`` plugs in an externally owned
+    :class:`repro.engine.cache.ResynthCache` so factored forms survive
+    across passes — ``run_flow`` hands every refactor-family step of one
+    script the same cache, which is what makes the second ``elf`` of an
+    ``elf; elf`` flow start warm.  Wave mode reads it through its NPN
+    view; the ``workers=1`` delegation passes it to the sequential
+    operator as an exact-only cache (bit-identical entries).
     """
 
     refactor: RefactorParams = field(default_factory=RefactorParams)
@@ -74,6 +92,7 @@ class EngineParams:
     # fused inference per wave); mirrors ``ElfParams.batched``.
     elf_batched: bool = True
     executor: "ResynthExecutor | None" = None
+    resynth_cache: "ResynthCache | None" = None
 
     def resolved_workers(self) -> int:
         if self.executor is not None:
@@ -91,21 +110,38 @@ class EngineStats(RefactorStats):
     delegated: bool = False  # ran the plain sequential operator
     n_candidates: int = 0
     n_conflict_edges: int = 0
-    n_waves: int = 0
-    n_stale: int = 0  # candidates replayed via the sequential fallback
+    n_waves: int = 0  # waves actually executed (incl. re-snapshot waves)
+    # Retained for report compatibility; structurally zero since the
+    # sequential fallback was replaced by incremental re-snapshot.
+    n_stale: int = 0
+    # Candidates newly marked stale; re-hits while already stale are not
+    # double-counted (one refresh repairs them all the same).
+    n_invalidated: int = 0
+    n_resnapshotted: int = 0  # lazy cut/feature refreshes performed
+    n_repair_waves: int = 0  # wave splits: repair rounds after deferrals
     n_tasks: int = 0  # survivor resyntheses requested
-    n_unique_tasks: int = 0  # after per-pass (tt, leaves) dedup
+    n_unique_tasks: int = 0  # after wave dedup + cross-pass/NPN cache hits
+    n_cache_hits: int = 0  # exact resynthesis cache hits this pass
+    n_npn_hits: int = 0  # NPN-class remap hits this pass
     time_snapshot: float = 0.0
     time_conflict: float = 0.0
     time_parallel: float = 0.0  # wall time inside the worker pool
     time_replay: float = 0.0
+    time_resnapshot: float = 0.0  # cross-wave re-snapshot + requeue time
 
     @property
     def dedup_rate(self) -> float:
-        """Fraction of resynthesis tasks eliminated by wave-level dedup."""
+        """Fraction of resynthesis tasks eliminated by dedup + caching."""
         if self.n_tasks == 0:
             return 0.0
         return 1.0 - self.n_unique_tasks / self.n_tasks
+
+    @property
+    def resnapshot_rate(self) -> float:
+        """Fraction of candidates that needed a cross-wave re-snapshot."""
+        if self.n_candidates == 0:
+            return 0.0
+        return self.n_resnapshotted / self.n_candidates
 
 
 def engine_refactor(
@@ -127,9 +163,15 @@ def engine_refactor(
 
 
 def _delegate_sequential(g: AIG, params: EngineParams, classifier) -> EngineStats:
-    """Deterministic in-process mode: run the sequential operator as-is."""
+    """Deterministic in-process mode: run the sequential operator as-is.
+
+    A shared ``resynth_cache`` is passed through as an exact-only cache:
+    entries are pure functions of ``(tt, n_leaves)``, so warm starts stay
+    bit-identical to a cold sequential run.
+    """
+    cache = params.resynth_cache
     if classifier is None:
-        base = refactor(g, params.refactor)
+        base = refactor(g, params.refactor, cache=cache)
     else:
         from ..elf.operator import ElfParams, elf_refactor
 
@@ -137,6 +179,7 @@ def _delegate_sequential(g: AIG, params: EngineParams, classifier) -> EngineStat
             g,
             classifier,
             ElfParams(refactor=params.refactor, batched=params.elf_batched),
+            cache=cache,
         )
     stats = EngineStats(workers=1, delegated=True)
     for f in dataclasses.fields(RefactorStats):
@@ -162,8 +205,9 @@ def _wave_refactor(
     t0 = time.perf_counter()
     candidates: list[Candidate] = []
     n_trivial = 0
-    for node in g.and_ids():
-        cut = reconv_cut(g, node, rparams.max_leaves, collect_features=want_features)
+    max_leaves = rparams.max_leaves
+    for node in g.iter_ands():
+        cut = reconv_cut(g, node, max_leaves, collect_features=want_features)
         if cut.n_leaves < 2:
             n_trivial += 1
             continue
@@ -186,109 +230,198 @@ def _wave_refactor(
     stats.fail_trivial += n_trivial
     stats.n_candidates = len(candidates)
 
-    # Phase 2: conflict planning.
+    # Phase 2: conflict planning over the shared inverted index.
     t0 = time.perf_counter()
-    adjacency, n_edges = build_conflict_graph(candidates)
-    waves = color_waves(adjacency)
+    index = CandidateIndex()
+    for i, candidate in enumerate(candidates):
+        index.add(i, candidate)
+    adjacency, n_edges = build_conflict_graph(candidates, index)
+    wave_queue = color_waves(adjacency)
     stats.n_conflict_edges = n_edges
-    stats.n_waves = len(waves)
     stats.time_conflict = time.perf_counter() - t0
 
     # Phases 3+4, wave by wave.  An external executor (serving layer)
-    # outlives this pass; an owned one is torn down with it.
-    cache: dict = {}
+    # outlives this pass; an owned one is torn down with it.  Same for
+    # the resynthesis cache (flow layer), read through its NPN view.
+    base_cache = params.resynth_cache
+    if base_cache is None:
+        base_cache = ResynthCache()
+    cache = base_cache.npn_view()
+    owner = cache._owner()
+    hits_exact0, hits_npn0 = owner.hits_exact, owner.hits_npn
     executor = params.executor
     own_executor = executor is None
     if own_executor:
         executor = ResynthExecutor(workers, rparams)
+    # Snapshots describe the graph as of now; discard older damage.
+    g.drain_dirty()
+    pending = set(range(len(candidates)))
+    stale: set[int] = set()  # invalidated, not yet re-snapshotted
     try:
-        for wave in waves:
-            _run_wave(
-                g,
-                [candidates[i] for i in wave],
-                classifier,
-                rparams,
-                required,
-                cache,
-                executor,
-                stats,
-            )
+        for wave in wave_queue:
+            members = [i for i in wave if i in pending]
+            repair = False
+            while members:
+                stats.n_waves += 1
+                if repair:
+                    stats.n_repair_waves += 1
+                deferred = _run_wave(
+                    g,
+                    members,
+                    candidates,
+                    index,
+                    classifier,
+                    rparams,
+                    required,
+                    cache,
+                    executor,
+                    stats,
+                    pending,
+                    stale,
+                    want_features,
+                )
+                # Members invalidated mid-wave split off into a repair
+                # wave that runs immediately, preserving the sequential
+                # sweep's node-order locality.
+                members = sorted(i for i in deferred if i in pending)
+                repair = True
     finally:
         if own_executor:
             executor.close()
+    stats.n_cache_hits = owner.hits_exact - hits_exact0
+    stats.n_npn_hits = owner.hits_npn - hits_npn0
     stats.time_total = time.perf_counter() - start
     return stats
 
 
-def _cone_alive(g: AIG, candidate: Candidate) -> bool:
-    """Is the snapshot cut still structurally intact?
+def _refresh_members(
+    g: AIG,
+    member_indices: list[int],
+    candidates: list[Candidate],
+    index: CandidateIndex,
+    rparams: RefactorParams,
+    want_features: bool,
+    stats: EngineStats,
+    pending: set[int],
+    stale: set[int],
+) -> list[tuple[int, Candidate]]:
+    """Lazily re-snapshot the stale members of a wave about to run.
 
-    Any graph edit that could change the candidate's local function kills
-    a node of its cone (fanouts of a replaced node are only rewired where
-    the replaced node — by the cut closure property a cone member — dies),
-    so liveness of root, interior and leaves certifies the precomputed
-    truth table and factored form.
+    Invalidated candidates keep their wave slot; the refresh — a fresh
+    reconvergence cut, features when a classifier runs, and the
+    conservative ``mffc = interior`` bound (the cut-bounded MFFC is a
+    subset of the interior, and the commit-time gain check recomputes
+    the exact value anyway) — happens exactly once per wave arrival, on
+    the graph every earlier commit already shaped.  Dead roots are
+    dropped (the commit cascade consumed them; the sequential sweep
+    skips those too) and re-cut cones that collapsed below two leaves
+    are accounted like the snapshot phase accounts degenerate cuts.
     """
-    if g.is_dead(candidate.node):
-        return False
-    for node in candidate.interior:
+    refreshed: list[tuple[int, Candidate]] = []
+    t0 = time.perf_counter()
+    for i in member_indices:
+        if i not in stale:
+            refreshed.append((i, candidates[i]))
+            continue
+        stale.discard(i)
+        node = candidates[i].node
         if g.is_dead(node):
-            return False
-    for node in candidate.leaves:
-        if g.is_dead(node):
-            return False
-    return True
+            pending.discard(i)
+            continue
+        cut = reconv_cut(g, node, rparams.max_leaves, collect_features=want_features)
+        if cut.n_leaves < 2:
+            stats.nodes_visited += 1
+            stats.cuts_formed += 1
+            stats.fail_trivial += 1
+            pending.discard(i)
+            continue
+        interior = frozenset(cut.interior)
+        fresh = Candidate(
+            node=node,
+            leaves=tuple(cut.leaves),
+            interior=interior,
+            mffc=interior,
+            features=cut.features,
+        )
+        candidates[i] = fresh
+        index.add(i, fresh)
+        stats.n_resnapshotted += 1
+        refreshed.append((i, fresh))
+    stats.time_resnapshot += time.perf_counter() - t0
+    return refreshed
 
 
 def _run_wave(
     g: AIG,
-    members: list[Candidate],
+    member_indices: list[int],
+    candidates: list[Candidate],
+    index: CandidateIndex,
     classifier,
     rparams: RefactorParams,
     required: RequiredLevels | None,
-    cache: dict,
+    cache: ResynthCache,
     executor: ResynthExecutor,
     stats: EngineStats,
-) -> None:
-    # Partition the wave into candidates whose snapshot survived earlier
-    # waves and stale ones (replayed via the sequential fallback below).
-    valid: list[Candidate] = []
-    stale: list[Candidate] = []
-    for candidate in members:
-        if g.is_dead(candidate.node):
-            continue  # committed away entirely; the sequential sweep skips these too
-        if _cone_alive(g, candidate):
-            valid.append(candidate)
-        else:
-            stale.append(candidate)
+    pending: set[int],
+    stale: set[int],
+    want_features: bool,
+) -> set[int]:
+    """Classify, batch-evaluate, resynthesize and commit one wave.
+
+    Stale members are re-snapshotted up front, so the batch kernels only
+    ever see cuts that describe the current graph.  Returns the indices
+    deferred mid-wave (an earlier commit of this same wave dirtied their
+    cone); the caller runs them as a repair wave next.
+    """
+    members = _refresh_members(
+        g,
+        member_indices,
+        candidates,
+        index,
+        rparams,
+        want_features,
+        stats,
+        pending,
+        stale,
+    )
 
     # One fused classification per wave over the stacked feature matrix.
-    pruned: set[int] = set()
-    if classifier is not None and valid:
+    survivors: list[tuple[int, Candidate]] = []
+    if classifier is not None:
+        if not members:
+            return set()
         t0 = time.perf_counter()
-        matrix = stack_features([c.features for c in valid])
+        matrix = stack_features([c.features for _, c in members])
         keep = classifier.keep_mask(matrix)
         stats.time_inference += time.perf_counter() - t0
-        pruned = {c.node for c, k in zip(valid, keep) if not k}
+        for (i, candidate), keep_one in zip(members, keep):
+            if keep_one:
+                survivors.append((i, candidate))
+            else:
+                stats.nodes_visited += 1
+                stats.pruned += 1
+                pending.discard(i)
+    else:
+        survivors = members
 
-    # Truth tables of the surviving candidates, then one pool dispatch for
-    # the wave's unique cut functions.
-    survivors: list[tuple[Candidate, int]] = []
+    # Truth tables of all surviving cones in one batched kernel call.
     t0 = time.perf_counter()
-    for candidate in valid:
-        if candidate.node in pruned:
-            continue
-        survivors.append(
-            (candidate, cone_truth(g, candidate.node, list(candidate.leaves)))
-        )
+    tts = batch_cone_truths(
+        g, [(c.node, c.leaves, c.interior) for _, c in survivors]
+    )
     stats.time_truth += time.perf_counter() - t0
 
+    # Resolve each unique cut function through the cross-pass cache; only
+    # true misses are shipped to the worker pool.
+    entries: dict[tuple[int, int], tuple | None] = {}
     todo: list[tuple[int, int]] = []
-    seen: set[tuple[int, int]] = set()
-    for candidate, tt in survivors:
+    for (_i, candidate), tt in zip(survivors, tts):
         key = (tt, len(candidate.leaves))
-        if key not in cache and key not in seen:
-            seen.add(key)
+        if key in entries:
+            continue
+        hit = cache.get(key)
+        entries[key] = hit
+        if hit is None:
             todo.append(key)
     stats.n_tasks += len(survivors)
     stats.n_unique_tasks += len(todo)
@@ -297,44 +430,51 @@ def _run_wave(
         t0 = time.perf_counter()
         for key, entry in zip(todo, executor.run(todo)):
             cache[key] = entry
+            entries[key] = entry
         elapsed = time.perf_counter() - t0
         if pooled:
             stats.time_parallel += elapsed
         stats.time_resynth += elapsed
 
-    # Serial replay in ascending node order: commit survivors with their
-    # precomputed forms, re-attempt stale members from scratch.
+    # Serial replay in ascending node order.  Each commit drains the
+    # dirty journal and pushes the killed set through the candidate
+    # index: invalidated candidates anywhere in the schedule are marked
+    # stale (their wave re-cuts them lazily on arrival), and invalidated
+    # members of *this* wave are additionally deferred so the caller can
+    # split them off into an immediate repair wave.
     t0 = time.perf_counter()
-    precomputed = {c.node: tt for c, tt in survivors}
-    for candidate in sorted(valid + stale, key=lambda c: c.node):
+    replay = sorted(zip(survivors, tts), key=lambda item: item[0][1].node)
+    unprocessed = {i for i, _ in survivors}
+    deferred: set[int] = set()
+    for (i, candidate), tt in replay:
+        unprocessed.discard(i)
+        if i in deferred:
+            continue  # stays pending; the repair wave re-snapshots it
         node = candidate.node
-        if g.is_dead(node):
-            continue
-        if node in pruned:
-            stats.nodes_visited += 1
-            stats.pruned += 1
+        if g.is_dead(node):  # pragma: no cover - journal catches this first
+            deferred.add(i)
+            stale.add(i)
             continue
         stats.nodes_visited += 1
-        if node in precomputed and _cone_alive(g, candidate):
-            tt = precomputed[node]
-            entry = cache[(tt, len(candidate.leaves))]
-            stats.cuts_formed += 1
-            commit_tree(
-                g,
-                node,
-                list(candidate.leaves),
-                rparams,
-                required,
-                stats,
-                lambda entry=entry: entry,
-            )
-        else:
-            # Stale snapshot (or killed by a rare intra-wave strash
-            # cascade): fall back to the sequential per-node path.
-            stats.n_stale += 1
-            cut_t0 = time.perf_counter()
-            cut = reconv_cut(g, node, rparams.max_leaves, collect_features=False)
-            stats.time_cut += time.perf_counter() - cut_t0
-            stats.cuts_formed += 1
-            refactor_node(g, node, cut, rparams, required, stats, cache=cache)
+        stats.cuts_formed += 1
+        entry = entries[(tt, len(candidate.leaves))]
+        commit_dirty: set[int] = set()
+        commit_tree(
+            g,
+            node,
+            list(candidate.leaves),
+            rparams,
+            required,
+            stats,
+            lambda entry=entry: entry,
+            dirty=commit_dirty,
+        )
+        pending.discard(i)
+        if commit_dirty:
+            invalidated = index.invalidated(commit_dirty, pending)
+            stats.n_invalidated += len(invalidated - stale)
+            stale |= invalidated
+            deferred |= invalidated & unprocessed
     stats.time_replay += time.perf_counter() - t0
+    return deferred
+

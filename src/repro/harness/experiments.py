@@ -157,7 +157,9 @@ class EngineScalingRow:
     level: int
     speedup: float  # sequential runtime / this runtime
     n_waves: int = 0
-    n_stale: int = 0
+    n_stale: int = 0  # structurally 0 since the sequential fallback died
+    n_resnapshotted: int = 0  # cross-wave incremental snapshot refreshes
+    dedup_rate: float = 0.0  # resynthesis tasks eliminated by dedup/cache
     commits: int = 0
     graph: AIG | None = None  # the optimized clone (for CEC by callers)
 
@@ -176,9 +178,13 @@ def engine_scaling(
     import time as _time
 
     from ..engine import EngineParams, engine_refactor
+    from ..tt.isop import clear_isop_memo
 
     engine_params = params or EngineParams()
     baseline_g = g.clone()
+    # Every timed run starts with a cold process-wide ISOP memo, so the
+    # comparison is mode vs mode, not cold-cache vs warm-cache.
+    clear_isop_memo()
     t0 = _time.perf_counter()
     baseline_stats = refactor(baseline_g, engine_params.refactor)
     baseline_runtime = _time.perf_counter() - t0
@@ -196,6 +202,7 @@ def engine_scaling(
     ]
     for workers in workers_list:
         engine_g = g.clone()
+        clear_isop_memo()
         t0 = _time.perf_counter()
         stats = engine_refactor(
             engine_g,
@@ -213,6 +220,8 @@ def engine_scaling(
                 speedup=baseline_runtime / runtime if runtime > 0 else float("inf"),
                 n_waves=stats.n_waves,
                 n_stale=stats.n_stale,
+                n_resnapshotted=stats.n_resnapshotted,
+                dedup_rate=stats.dedup_rate,
                 commits=stats.commits,
                 graph=engine_g,
             )

@@ -82,14 +82,27 @@ def run_flow(
     :class:`repro.engine.ResynthExecutor` reused by every parallel step
     instead of forking a pool per step (it overrides the worker count
     and is left open).
+
+    Every refactor-family step of one script shares a single
+    cross-pass :class:`repro.engine.ResynthCache`, so e.g. the second
+    ``elf`` of ``elf; elf`` starts with every factored form the first
+    derived (the flow builds all refactor params with the same factoring
+    knobs, which is what makes the cache sound to share).  Sequential
+    steps take exact hits only — bit-identical to running uncached —
+    while the wave engine also reuses NPN-equivalent 4-leaf forms.
     """
+    from ..engine import ResynthCache
+
     report = FlowReport(script=script)
+    resynth_cache = ResynthCache()
     for raw in script.split(";"):
         command = raw.strip()
         if not command:
             continue
         t0 = time.perf_counter()
-        g, detail = _execute(g, command, classifier, engine_workers, engine_executor)
+        g, detail = _execute(
+            g, command, classifier, engine_workers, engine_executor, resynth_cache
+        )
         report.steps.append(
             FlowStep(
                 command=command,
@@ -102,7 +115,14 @@ def run_flow(
     return g, report
 
 
-def _execute(g: AIG, command: str, classifier, engine_workers=None, engine_executor=None):
+def _execute(
+    g: AIG,
+    command: str,
+    classifier,
+    engine_workers=None,
+    engine_executor=None,
+    resynth_cache=None,
+):
     parts = command.split()
     op = parts[0]
     preserve = "-l" in parts[1:]
@@ -117,7 +137,9 @@ def _execute(g: AIG, command: str, classifier, engine_workers=None, engine_execu
         op = "r" + op
     if op in ("rf", "rfz"):
         stats = refactor(
-            g, RefactorParams(zero_cost=op.endswith("z"), preserve_levels=preserve)
+            g,
+            RefactorParams(zero_cost=op.endswith("z"), preserve_levels=preserve),
+            cache=resynth_cache,
         )
         return g, stats
     if op == "rs":
@@ -135,6 +157,7 @@ def _execute(g: AIG, command: str, classifier, engine_workers=None, engine_execu
                     zero_cost=op.endswith("z"), preserve_levels=preserve
                 )
             ),
+            cache=resynth_cache,
         )
         return g, stats
     if op in ("pf", "pfz", "pelf", "pelfz"):
@@ -160,6 +183,7 @@ def _execute(g: AIG, command: str, classifier, engine_workers=None, engine_execu
                 ),
                 workers=workers,
                 executor=executor,
+                resynth_cache=resynth_cache,
             ),
             classifier=classifier if op.startswith("pelf") else None,
         )

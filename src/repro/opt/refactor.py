@@ -88,19 +88,31 @@ def refactor(
     g: AIG,
     params: RefactorParams | None = None,
     collector=None,
+    cache: dict | None = None,
 ) -> RefactorStats:
     """Run one refactor pass over ``g`` in place.
 
     ``collector(features, committed)`` — when given — receives the six
     ELF features and the commit outcome of every visited node; this is how
     classifier training data is harvested (paper SS IV-A).
+
+    ``cache`` plugs in an externally owned resynthesis cache (anything
+    with dict-like ``get``/``__setitem__`` keyed ``(tt, n_leaves)``, e.g.
+    :class:`repro.engine.ResynthCache`).  Entries are pure functions of
+    the key *and* the factoring knobs (``try_complement``, ``method``),
+    so sharing a cache across passes — the ``rf; ...; rfz`` steps of one
+    flow — changes nothing but runtime **provided every sharer uses the
+    same factoring knobs**; do not share one cache across differing
+    ``RefactorParams`` factoring settings.
     """
     params = params or RefactorParams()
     stats = RefactorStats()
+    g.drain_dirty()  # sequential pass: retire the previous journal epoch
     start = time.perf_counter()
     required = RequiredLevels(g) if params.preserve_levels else None
     want_features = collector is not None
-    cache: dict = {}
+    if cache is None:
+        cache = {}
     for node in g.and_ids():
         if g.is_dead(node):
             continue
@@ -188,6 +200,7 @@ def commit_tree(
     required: RequiredLevels | None,
     stats: RefactorStats,
     resolve,
+    dirty: set[int] | None = None,
 ) -> bool:
     """Gain-check and commit a factored replacement for ``node``.
 
@@ -196,6 +209,11 @@ def commit_tree(
     over a form precomputed in a worker process.  It is only invoked when
     the MFFC leaves any budget for new nodes, preserving the sequential
     operator's exact skip behavior.
+
+    ``dirty`` — when given — accumulates the nodes this commit killed
+    (drained from the graph's dirty journal), which is how the engine's
+    scheduler learns, in O(damage), which later-wave snapshots one commit
+    invalidated.
     """
     t0 = time.perf_counter()
     mffc = mffc_nodes(g, node, boundary=set(leaves))
@@ -255,6 +273,8 @@ def commit_tree(
         g.replace(node, new_lit)
         stats.commits += 1
         stats.gain_total += before - g.n_ands
+        if dirty is not None:
+            dirty.update(g.drain_dirty().killed)
     finally:
         stats.time_commit += time.perf_counter() - t0
     return True

@@ -51,6 +51,7 @@ def resub(g: AIG, params: ResubParams | None = None) -> ResubStats:
     """One resubstitution pass over ``g`` in place."""
     params = params or ResubParams()
     stats = ResubStats()
+    g.drain_dirty()  # sequential pass: retire the previous journal epoch
     start = time.perf_counter()
     for node in g.and_ids():
         if g.is_dead(node):
@@ -166,7 +167,7 @@ def _collect_divisors(
     for known in frontier:
         if len(result) >= max_divisors:
             break
-        for fanout in g.fanouts(known):
+        for fanout in g.iter_fanouts(known):
             if fanout in tts or fanout in mffc or fanout == node or g.is_dead(fanout):
                 continue
             value = _tt_from_fanins(g, fanout, tts, n_leaves)

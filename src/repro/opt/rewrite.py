@@ -54,6 +54,7 @@ def rewrite(
     params = params or RewriteParams()
     library = library or default_library()
     stats = RewriteStats()
+    g.drain_dirty()  # sequential pass: retire the previous journal epoch
     start = time.perf_counter()
     required = RequiredLevels(g) if params.preserve_levels else None
     all_cuts = enumerate_cuts(g, params.k, params.max_cuts)

@@ -5,6 +5,14 @@
 ``isop_exact`` is the common ``lower == upper`` case used by refactor.
 The recursion splits on the top variable in the support and produces an
 irredundant cover, the same construction ABC uses (``Kit_TruthIsop``).
+
+The recursive core is memoized process-wide: it is a pure function of
+``(lower, upper, top, n_vars)``, and the cofactor subproblems of related
+cut functions overlap heavily (the reconvergent cones of one circuit
+keep re-deriving the same half-covers), so on refactor-scale workloads
+more than half the recursion tree is served from the memo.  The memo is
+cleared when it reaches :data:`ISOP_MEMO_LIMIT` entries, bounding memory
+without changing any result.
 """
 
 from __future__ import annotations
@@ -14,13 +22,28 @@ from ..aig.simulate import full_mask, var_mask
 from .sop import lit_index
 from .truth import cofactor0, cofactor1
 
+ISOP_MEMO_LIMIT = 1 << 18
+"""Entry cap of the process-wide Minato-Morreale memo (cleared, not LRU)."""
+
+_MEMO: dict[tuple[int, int, int, int], tuple[list[int], int]] = {}
+
+
+def clear_isop_memo() -> None:
+    """Reset the process-wide memo.
+
+    Results never depend on memo state; this exists so benchmarks can
+    time every mode from a cold start instead of letting earlier runs
+    warm later ones.
+    """
+    _MEMO.clear()
+
 
 def isop_exact(tt: int, n_vars: int) -> list[int]:
     """Irredundant SOP of ``tt`` (no don't-cares)."""
     cubes, cover = _isop(tt, tt, n_vars, n_vars)
     if cover != tt:  # pragma: no cover - algorithmic invariant
         raise TruthTableError("isop cover mismatch")
-    return cubes
+    return list(cubes)
 
 
 def isop(lower: int, upper: int, n_vars: int) -> list[int]:
@@ -31,15 +54,23 @@ def isop(lower: int, upper: int, n_vars: int) -> list[int]:
     if lower & ~upper:
         raise TruthTableError("isop: lower bound not contained in upper bound")
     cubes, _cover = _isop(lower, upper, n_vars, n_vars)
-    return cubes
+    return list(cubes)
 
 
 def _isop(lower: int, upper: int, top: int, n_vars: int) -> tuple[list[int], int]:
-    """Recursive core; returns (cubes, exact cover truth table)."""
+    """Recursive core; returns (cubes, exact cover truth table).
+
+    Callers must not mutate the returned cube list — it is shared with
+    the memo (the public wrappers copy).
+    """
     if lower == 0:
         return [], 0
     if upper == full_mask(n_vars):
         return [0], full_mask(n_vars)
+    key = (lower, upper, top, n_vars)
+    hit = _MEMO.get(key)
+    if hit is not None:
+        return hit
     # Find the top-most variable either bound depends on.
     var = top - 1
     while var >= 0:
@@ -72,4 +103,7 @@ def _isop(lower: int, upper: int, top: int, n_vars: int) -> tuple[list[int], int
     )
     mask = var_mask(var, n_vars)
     cover = (cover0 & ~mask) | (cover1 & mask) | cover_star
+    if len(_MEMO) >= ISOP_MEMO_LIMIT:
+        _MEMO.clear()
+    _MEMO[key] = (cubes, cover)
     return cubes, cover

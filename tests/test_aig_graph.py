@@ -269,3 +269,102 @@ class TestReplace:
         assert g.pos[0] == x
         assert g.n_ands == 1
         check(g)
+
+
+class TestDirtyJournal:
+    """The per-epoch structural-damage journal behind the engine's
+    incremental cross-wave re-snapshot."""
+
+    def test_fresh_graph_journal_is_empty_after_drain(self):
+        g = random_aig(6, 40, 3, seed=1)
+        journal = g.drain_dirty()
+        # Construction dirt (allocations are not damage) may or may not be
+        # journaled, but a second drain must be empty: epochs are disjoint.
+        assert g.drain_dirty().empty
+        assert isinstance(journal.killed, frozenset)
+
+    def test_replace_records_killed_and_rewired(self):
+        g = AIG()
+        a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+        x = g.add_and(a, b)
+        y = g.add_and(x, c)
+        g.add_po(y)
+        g.drain_dirty()
+        g.replace(lit_node(x), a)  # y survives, rewired to AND(a, c)
+        journal = g.drain_dirty()
+        assert lit_node(x) in journal.killed
+        assert lit_node(y) in journal.rewired
+        assert lit_node(y) not in journal.killed
+        check(g)
+
+    def test_cascading_gc_is_journaled(self):
+        g = AIG()
+        a, b, c, d = (g.add_pi() for _ in range(4))
+        n1 = g.add_and(a, b)
+        n2 = g.add_and(n1, c)
+        n3 = g.add_and(n2, d)
+        g.add_po(n3)
+        g.drain_dirty()
+        g.replace(lit_node(n3), a)  # frees the whole chain below
+        journal = g.drain_dirty()
+        assert {lit_node(n1), lit_node(n2), lit_node(n3)} <= journal.killed
+        assert g.n_ands == 0
+        check(g)
+
+    def test_po_rewire_journals_the_replaced_driver(self):
+        g = AIG()
+        a, b = g.add_pi(), g.add_pi()
+        x = g.add_and(a, b)
+        g.add_po(x, "out")
+        g.drain_dirty()
+        g.replace(lit_node(x), lit_not(b))
+        journal = g.drain_dirty()
+        assert lit_node(x) in journal.killed
+        assert g.pos[0] == lit_not(b)  # PO rewired, phase preserved
+        check(g)
+
+    def test_strash_merge_victims_are_killed(self):
+        g = AIG()
+        a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+        x = g.add_and(a, b)
+        merged = g.add_and(x, c)  # AND(x, c): the merge target
+        y = g.add_and(a, lit_not(b))
+        victim = g.add_and(y, c)  # after y -> x, collides with ``merged``
+        g.add_po(merged)
+        g.add_po(victim)
+        g.drain_dirty()
+        g.replace(lit_node(y), x)
+        journal = g.drain_dirty()
+        assert lit_node(victim) in journal.killed
+        assert g.pos[1] == merged
+        check(g)
+
+    def test_new_nodes_are_not_damage(self):
+        g = AIG()
+        a, b = g.add_pi(), g.add_pi()
+        g.drain_dirty()
+        g.add_and(a, b)
+        journal = g.drain_dirty()
+        assert journal.empty
+
+    def test_replaced_pi_is_journaled_killed(self):
+        g = AIG()
+        a, b = g.add_pi(), g.add_pi()
+        x = g.add_and(a, b)
+        g.add_po(x)
+        g.drain_dirty()
+        g.replace(lit_node(a), b)  # PI slot survives but is disconnected
+        journal = g.drain_dirty()
+        assert lit_node(a) in journal.killed
+
+
+def test_iter_fanouts_zero_copy_view():
+    g = AIG()
+    a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+    x = g.add_and(a, b)
+    y = g.add_and(x, c)
+    z = g.add_and(x, lit_not(c))
+    g.add_po(y)
+    g.add_po(z)
+    assert sorted(g.iter_fanouts(lit_node(x))) == sorted(g.fanouts(lit_node(x)))
+    assert list(g.iter_fanouts(lit_node(y))) == []

@@ -94,3 +94,57 @@ def test_po_inversion_handled():
     pi_values = np.array([[np.uint64(0xAA)]], dtype=np.uint64)
     out = simulate(g, pi_values)
     assert int(out[0, 0]) == 0xFFFFFFFFFFFFFF55
+
+
+class TestBatchConeTruths:
+    """The multi-root batch kernel must be bit-identical to cone_truth."""
+
+    def test_matches_cone_truth_on_random_cuts(self):
+        from repro.aig.simulate import batch_cone_truths
+        from repro.cuts.reconv import reconv_cut
+
+        g = random_aig(10, 300, 8, seed=3)
+        cones = []
+        expected = []
+        for node in g.and_ids():
+            cut = reconv_cut(g, node, 10, collect_features=False)
+            if cut.n_leaves < 2:
+                continue
+            cones.append((node, tuple(cut.leaves), frozenset(cut.interior)))
+            expected.append(cone_truth(g, node, cut.leaves))
+        assert batch_cone_truths(g, cones) == expected
+
+    def test_matches_after_graph_edits(self):
+        # Node replacement can break ascending-id topological order; the
+        # kernel's shared rank pass must still evaluate fanins first.
+        from repro.aig.simulate import batch_cone_truths
+        from repro.cuts.reconv import reconv_cut
+        from repro.opt import refactor
+
+        g = random_aig(10, 400, 6, seed=9)
+        refactor(g)  # leaves rewired, non-monotone fanin ids behind
+        cones = []
+        expected = []
+        for node in g.and_ids():
+            cut = reconv_cut(g, node, 10, collect_features=False)
+            if cut.n_leaves < 2:
+                continue
+            cones.append((node, tuple(cut.leaves), frozenset(cut.interior)))
+            expected.append(cone_truth(g, node, cut.leaves))
+        assert len(cones) > 20
+        assert batch_cone_truths(g, cones) == expected
+
+    def test_empty_batch(self):
+        from repro.aig.simulate import batch_cone_truths
+
+        g = random_aig(4, 10, 2, seed=1)
+        assert batch_cone_truths(g, []) == []
+
+    def test_leaf_limit_enforced(self):
+        from repro.aig.simulate import MAX_TT_VARS, batch_cone_truths
+
+        g = random_aig(4, 10, 2, seed=1)
+        node = g.and_ids()[0]
+        fake_leaves = tuple(range(1, MAX_TT_VARS + 2))
+        with pytest.raises(TruthTableError):
+            batch_cone_truths(g, [(node, fake_leaves, frozenset({node}))])

@@ -307,3 +307,156 @@ class TestPipelineIntegration:
         assert rows[1].n_ands == rows[0].n_ands  # workers=1 delegates
         for row in rows[1:]:
             assert row.runtime > 0 and row.speedup > 0
+
+
+def crafted_stale_circuit(n=10):
+    """Interleaved xor/majority towers sharing leaves: early-wave commits
+    restructure shared cones, forcing cross-wave snapshot invalidation."""
+    from repro.aig.graph import AIG
+
+    g = AIG("crafted-stale")
+    xs = [g.add_pi(f"x{i}") for i in range(n)]
+    carry = xs[0]
+    for i in range(1, n):
+        s = g.add_xor(carry, xs[i])
+        maj = g.add_or(g.add_and(carry, xs[i]), g.add_and(s, xs[(i + 1) % n]))
+        t = g.add_xor(s, maj)
+        carry = g.add_or(g.add_and(t, s), g.add_and(maj, xs[i - 1]))
+        g.add_po(t, f"t{i}")
+    g.add_po(carry, "carry")
+    return g
+
+
+class TestIncrementalResnapshot:
+    """Cross-wave invalidation: the re-snapshot pipeline that replaced the
+    sequential fallback."""
+
+    def test_crafted_staleness_is_resnapshotted_not_replayed(self):
+        g = crafted_stale_circuit(10)
+        eng = g.clone()
+        stats = engine_refactor(eng, EngineParams(workers=2))
+        assert stats.n_stale == 0  # the fallback path no longer exists
+        assert stats.n_resnapshotted > 0  # staleness really occurred
+        assert stats.n_invalidated >= stats.n_resnapshotted
+        assert equivalent(g, eng, method="exhaustive")
+
+    def test_incremental_path_is_deterministic_bench_identical(self):
+        from repro.aig.io_bench import to_text
+
+        g = crafted_stale_circuit(10)
+        first, second = g.clone(), g.clone()
+        s1 = engine_refactor(first, EngineParams(workers=2))
+        s2 = engine_refactor(second, EngineParams(workers=2))
+        assert s1.n_resnapshotted == s2.n_resnapshotted > 0
+        assert to_text(first) == to_text(second)
+
+    def test_quality_tracks_sequential_on_stale_heavy_circuit(self):
+        g = layered_random_aig(12, 1500, seed=33)
+        sequential, eng = g.clone(), g.clone()
+        refactor(sequential)
+        stats = engine_refactor(eng, EngineParams(workers=2))
+        assert stats.n_stale == 0
+        assert stats.n_resnapshotted > 0
+        assert equivalent(g, eng, method="exhaustive")
+        diff = abs(eng.n_ands - sequential.n_ands) / max(1, sequential.n_ands)
+        assert diff <= 0.02, (eng.n_ands, sequential.n_ands)
+
+    def test_stats_invariants_with_repair_waves(self):
+        g = layered_random_aig(12, 1000, seed=17)
+        stats = engine_refactor(g, EngineParams(workers=2))
+        assert stats.nodes_visited == stats.commits + stats.fails + stats.pruned
+        assert stats.n_waves >= stats.n_repair_waves
+        assert 0.0 <= stats.resnapshot_rate <= 1.0
+        assert stats.n_cache_hits >= 0 and stats.n_npn_hits >= 0
+
+    def test_candidate_index_invalidation_lookup(self):
+        from repro.engine import CandidateIndex
+
+        c0 = Candidate(node=9, leaves=(2, 3), interior=frozenset({9, 7}), mffc=frozenset({9}))
+        c1 = Candidate(node=12, leaves=(4, 5), interior=frozenset({12}), mffc=frozenset({12}))
+        index = CandidateIndex()
+        index.add(0, c0)
+        index.add(1, c1)
+        pending = {0, 1}
+        assert index.invalidated({7}, pending) == {0}
+        assert index.invalidated({4}, pending) == {1}  # leaf death counts
+        assert index.invalidated({99}, pending) == set()
+        assert index.invalidated({7, 4}, {1}) == {1}  # pending-filtered
+
+
+class TestResynthCache:
+    def test_exact_entries_are_bit_identical(self):
+        from repro.engine import ResynthCache
+        from repro.opt.refactor import _resynthesize
+
+        params = RefactorParams()
+        cache = ResynthCache()
+        entry = _resynthesize(0b1000_0110_0110_1000, 4, params, cache)
+        again = _resynthesize(0b1000_0110_0110_1000, 4, params, cache)
+        assert entry == again
+        assert cache.hits_exact >= 1
+
+    def test_npn_view_remaps_class_hits_functionally(self):
+        import random
+
+        from repro.aig.simulate import full_mask
+        from repro.engine import ResynthCache
+        from repro.opt.refactor import _resynthesize
+
+        params = RefactorParams()
+        full = full_mask(4)
+        cache = ResynthCache()
+        view = cache.npn_view()
+        rng = random.Random(7)
+        for _ in range(120):
+            tt = rng.randrange(1 << 16)
+            entry = view.get((tt, 4))
+            if entry is None:
+                entry = _resynthesize(tt, 4, params, None)
+                view[(tt, 4)] = entry
+            tree, inverted = entry
+            assert tree.eval_tt(4) ^ (full if inverted else 0) == tt
+        assert cache.hits_npn > 0
+        assert cache.hits_exact + cache.hits_npn + cache.misses == 120
+
+    def test_exact_handle_never_serves_npn(self):
+        from repro.engine import ResynthCache
+        from repro.opt.refactor import _resynthesize
+
+        cache = ResynthCache()
+        view = cache.npn_view()
+        # Stored through the NPN view (the wave path), so the canonical
+        # table is populated; a base-handle store skips canonization.
+        view[(0x6666, 4)] = _resynthesize(0x6666, 4, RefactorParams(), None)
+        assert cache.get((0x9999, 4)) is None  # NPN-equivalent, exact miss
+        assert view.get((0x9999, 4)) is not None
+        # The remap lives in the view's overlay only: the exact handle
+        # must still miss, or sequential sharers would observe
+        # NPN-derived trees and lose their bit-identity guarantee.
+        assert cache.get((0x9999, 4)) is None
+        assert (0x9999, 4) not in cache
+        # A second view does not inherit the first view's overlay but can
+        # re-derive the remap from the shared canonical table.
+        assert cache.npn_view().get((0x9999, 4)) is not None
+
+    def test_flow_level_cache_keeps_sequential_flows_bit_identical(self):
+        from repro.aig.io_bench import to_text
+
+        g = layered_random_aig(12, 600, seed=5)
+        flowed, _report = run_flow(g.clone(), "rf; rfz")
+        manual = g.clone()
+        refactor(manual)
+        refactor(manual, RefactorParams(zero_cost=True))
+        assert to_text(flowed) == to_text(manual)
+
+    def test_engine_shares_cache_across_passes(self):
+        from repro.engine import ResynthCache
+
+        g = layered_random_aig(12, 800, seed=19)
+        cache = ResynthCache()
+        eng = g.clone()
+        engine_refactor(eng, EngineParams(workers=2, resynth_cache=cache))
+        warm = len(cache)
+        assert warm > 0
+        stats2 = engine_refactor(eng, EngineParams(workers=2, resynth_cache=cache))
+        assert stats2.n_cache_hits > 0  # second pass starts warm

@@ -3,9 +3,11 @@
 Two checks, both cheap enough to run inside the default test target:
 
 1. **Module docstrings.**  Every ``.py`` file under ``src/repro/engine``
-   and ``src/repro/serve`` must carry a non-trivial module docstring, so
-   ``pydoc repro.engine`` / ``pydoc repro.serve`` always render a usable
-   API reference.  Checked by AST parse — no imports, no side effects.
+   and ``src/repro/serve`` — plus the individually listed hot-path
+   modules (``src/repro/aig/simulate.py``) — must carry a non-trivial
+   module docstring, so ``pydoc repro.engine`` / ``pydoc repro.serve``
+   always render a usable API reference.  Checked by AST parse — no
+   imports, no side effects.
 2. **README examples.**  Every fenced ```` ```python ```` block in
    ``README.md`` is executed (in one shared namespace, top to bottom, so
    later examples may build on earlier ones).  A README that drifts from
@@ -23,28 +25,39 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 DOCSTRING_TREES = ("src/repro/engine", "src/repro/serve")
+DOCSTRING_FILES = ("src/repro/aig/simulate.py",)
 MIN_DOCSTRING_CHARS = 40  # a sentence, not a placeholder
 
 
+def _check_one(path: Path, failures: list[str]) -> None:
+    rel = path.relative_to(REPO)
+    try:
+        module = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError as error:
+        failures.append(f"{rel}: does not parse: {error}")
+        return
+    doc = ast.get_docstring(module)
+    if not doc:
+        failures.append(f"{rel}: missing module docstring")
+    elif len(doc.strip()) < MIN_DOCSTRING_CHARS:
+        failures.append(f"{rel}: module docstring is a stub ({doc.strip()!r})")
+
+
 def check_module_docstrings() -> list[str]:
-    failures = []
+    failures: list[str] = []
     for tree in DOCSTRING_TREES:
         root = REPO / tree
         if not root.is_dir():
             failures.append(f"{tree}: directory missing")
             continue
         for path in sorted(root.rglob("*.py")):
-            rel = path.relative_to(REPO)
-            try:
-                module = ast.parse(path.read_text(encoding="utf-8"))
-            except SyntaxError as error:
-                failures.append(f"{rel}: does not parse: {error}")
-                continue
-            doc = ast.get_docstring(module)
-            if not doc:
-                failures.append(f"{rel}: missing module docstring")
-            elif len(doc.strip()) < MIN_DOCSTRING_CHARS:
-                failures.append(f"{rel}: module docstring is a stub ({doc.strip()!r})")
+            _check_one(path, failures)
+    for name in DOCSTRING_FILES:
+        path = REPO / name
+        if not path.is_file():
+            failures.append(f"{name}: file missing")
+            continue
+        _check_one(path, failures)
     return failures
 
 
