@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test test-fast docs-check bench bench-serve bench-all profile clean
+.PHONY: test test-fast docs-check bench bench-rw bench-serve bench-all profile clean
 
 test: docs-check
 	$(PYTHON) -m pytest -x -q
@@ -12,16 +12,22 @@ test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
 
 # Documentation gate: module docstrings in repro.engine / repro.serve
-# and the simulation kernels, plus executable README examples
+# and the individually listed hot-path modules (simulation kernels, the
+# rewrite operator), plus executable README examples
 # (tools/docs_check.py).
 docs-check:
 	$(PYTHON) tools/docs_check.py
 
 # Engine scaling benchmark (no classifier training needed; writes
 # benchmarks/results/engine_scaling.json, a rendered table, and the
-# repo-level BENCH_engine.json perf trajectory).
+# refactor rows of the repo-level BENCH_engine.json perf trajectory).
 bench:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_scaling.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_scaling.py refactor
+
+# Wave-rewrite scaling: appends/refreshes the rewrite rows of
+# BENCH_engine.json without touching the refactor records.
+bench-rw:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_scaling.py rewrite
 
 # resyn2 runtime profile (refactor's share of the flow, paper SS II).
 profile:

@@ -1,15 +1,17 @@
 """Conflict graph, wave coloring and the candidate inverted index.
 
-Two refactor candidates can be resynthesized concurrently and committed
-in the same wave only when their commits cannot interfere.  A commit of
-candidate A deletes exactly A's MFFC (plus, rarely, strash-merge
-victims) and rewires fanouts of A's root; both effects are confined to
-nodes that see A's MFFC.  Candidate B is therefore endangered exactly
-when A's MFFC intersects B's *footprint* — B's root, cut cone, leaves or
-MFFC — and vice versa.  Following "Parallel AIG Refactoring via Conflict
-Breaking", candidates are vertices, interference pairs are edges, and a
-greedy coloring partitions the candidates into conflict-free commit
-waves.
+Two wave candidates can be evaluated concurrently and committed in the
+same wave only when their commits cannot interfere.  The reasoning is
+operator-agnostic — it holds for any operator whose commit replaces one
+root with a gain-checked cone over snapshot leaves (refactor, rewrite):
+a commit of candidate A deletes exactly A's MFFC (plus, rarely,
+strash-merge victims) and rewires fanouts of A's root; both effects are
+confined to nodes that see A's MFFC.  Candidate B is therefore
+endangered exactly when A's MFFC intersects B's *footprint* — B's root,
+cut cone, leaves or MFFC — and vice versa.  Following "Parallel AIG
+Refactoring via Conflict Breaking", candidates are vertices,
+interference pairs are edges, and a greedy coloring partitions the
+candidates into conflict-free commit waves.
 
 The :class:`CandidateIndex` inverts the candidate set: it maps every
 cone node to the candidates whose snapshot it certifies and every
@@ -32,7 +34,14 @@ from ..cuts.features import CutFeatures
 
 @dataclass(frozen=True)
 class Candidate:
-    """Snapshot of one refactor candidate taken at pass start.
+    """Snapshot of one wave candidate taken at pass start.
+
+    The conflict/invalidation machinery is operator-agnostic: it only
+    reads ``node``, ``leaves``, ``interior`` and ``mffc``.  A
+    single-cut operator (refactor) stores its one cut directly; a
+    multi-cut operator (rewrite) stores the *unions* here — death of any
+    node in any cut's cone must invalidate the snapshot — and keeps the
+    per-cut detail in ``payload``, which the scheduler never inspects.
 
     Re-snapshotted candidates (built between waves after their cone was
     dirtied) may carry the conservative ``mffc == interior`` bound: the
@@ -46,6 +55,7 @@ class Candidate:
     interior: frozenset[int]  # cut cone, root included, leaves excluded
     mffc: frozenset[int]  # nodes freed if ``node`` is replaced
     features: CutFeatures | None = None
+    payload: object = None  # operator-private snapshot data
 
     @cached_property
     def footprint(self) -> set[int]:

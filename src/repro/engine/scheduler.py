@@ -1,41 +1,43 @@
-"""The conflict-aware batch scheduler (the engine's main loop).
+"""The conflict-aware wave scheduler (the engine's operator-agnostic core).
 
-One engine pass over a network runs in four phases:
+One engine pass over a network runs in four phases, none of which knows
+which operator it is running — everything operator-specific sits behind
+the :class:`repro.engine.operators.WaveOperator` protocol (``snapshot`` /
+``evaluate`` / ``commit`` plus lifecycle glue):
 
-1. **Snapshot sweep** — every live AND gets its reconvergence-driven cut,
-   its cut-bounded MFFC and (when a classifier is deployed) its six ELF
-   features, exactly once, on the unmodified graph.
+1. **Snapshot sweep** — every live AND is offered to the operator's
+   ``snapshot`` hook exactly once, on the unmodified graph; refactor
+   returns its reconvergence cut + cut-bounded MFFC (+ ELF features),
+   rewrite its 4-feasible cut set with a union footprint.
 2. **Conflict planning** — candidates whose commits could interfere are
    linked in a conflict graph (:mod:`repro.engine.conflict`) and greedily
    colored into conflict-free commit waves; the same sweep builds the
    inverted candidate index the incremental machinery runs on.
-3. **Per wave** — features of the wave's members are stacked into one
-   matrix and classified with a single fused inference (the paper's
-   batching trick, applied per wave); survivors' truth tables are
-   computed by the multi-root batch kernel
-   (:func:`repro.aig.simulate.batch_cone_truths`); the wave's *unique,
-   uncached* cut functions are resynthesized by the worker pool
-   (:mod:`repro.engine.parallel`) through the cross-pass NPN-aware cache
-   (:mod:`repro.engine.cache`); winning forms are gain-checked and
-   committed serially in ascending node order through the same
-   ``commit_tree`` the sequential operator uses.
+3. **Per wave** — members with features are stacked and classified with
+   a single fused inference (the paper's batching trick, applied per
+   wave); survivors are handed to the operator's ``evaluate`` hook as
+   one batch (refactor: multi-root truth kernel + pooled resynthesis
+   through the cross-pass NPN-aware cache; rewrite: multi-root truth
+   kernel + cached NPN-library lookups); results are gain-checked and
+   committed serially in ascending node order through the operator's
+   ``commit`` hook — the same commit code the sequential operators use.
 4. **Incremental re-snapshot** — each commit drains the graph's dirty
    journal; the killed set, pushed through the candidate index, yields
    the exact set of candidates whose snapshots the commit invalidated
    (O(damage), no per-candidate liveness probing).  An invalidated
-   candidate scheduled in a later wave keeps its slot and is re-cut
-   lazily when that wave starts (so each wave arrival pays exactly one
-   refresh); an invalidated member of the *running* wave is deferred at
-   replay and lands in a **repair wave** that runs immediately after —
-   the wave effectively splits at the first realized conflict, keeping
-   the global commit order close to the sequential sweep's node order.
+   candidate scheduled in a later wave keeps its slot and is refreshed
+   lazily (operator ``resnapshot`` hook) when that wave starts; an
+   invalidated member of the *running* wave is deferred at replay and
+   lands in a **repair wave** that runs immediately after — the wave
+   effectively splits at the first realized conflict, keeping the
+   global commit order close to the sequential sweep's node order.
    There is no sequential fallback: ``n_stale`` is structurally zero,
    and every node — fresh or refreshed — flows through the same batched
-   classify/truth/resynth pipeline.
+   classify/evaluate pipeline.
 
 ``workers <= 1`` bypasses all of the above and *delegates* to the
 sequential operators, which makes the single-worker engine bit-identical
-to ``refactor()`` / ``elf_refactor()`` by construction.
+to ``refactor()`` / ``elf_refactor()`` / ``rewrite()`` by construction.
 """
 
 from __future__ import annotations
@@ -46,19 +48,16 @@ import time
 from dataclasses import dataclass, field
 
 from ..aig.graph import AIG
-from ..aig.levels import RequiredLevels
-from ..aig.mffc import mffc_nodes
-from ..aig.simulate import batch_cone_truths
 from ..cuts.features import stack_features
-from ..cuts.reconv import reconv_cut
 from ..opt.refactor import (
     RefactorParams,
     RefactorStats,
-    commit_tree,
     refactor,
 )
+from ..opt.rewrite import RewriteParams, RewriteStats, rewrite
 from .cache import ResynthCache
 from .conflict import Candidate, CandidateIndex, build_conflict_graph, color_waves
+from .operators import RefactorWaveOp, RewriteWaveOp, WaveOperator
 from .parallel import ResynthExecutor
 
 
@@ -103,9 +102,52 @@ class EngineParams:
 
 
 @dataclass
-class EngineStats(RefactorStats):
-    """`RefactorStats` plus the engine's scheduling counters."""
+class RewriteEngineParams:
+    """Engine knobs for the wave-rewrite pass (``prw`` / ``prwz``).
 
+    ``workers`` selects the mode exactly like :class:`EngineParams`:
+    ``<= 1`` delegates to the sequential :func:`repro.opt.rewrite.rewrite`
+    (bit-identical by construction), ``>= 2`` runs the wave pipeline, and
+    ``0`` means auto.  ``executor`` is accepted for server-hook symmetry
+    with the refactor engine — a shared executor's width sizes the pass
+    (the pool was provisioned for the whole served flow) — but rewrite
+    evaluation never dispatches to it: NPN-library lookups are memoized
+    dict probes, far below process-dispatch cost.
+
+    ``resynth_cache`` shares the flow-level cache's *library layer*
+    (:meth:`repro.engine.cache.ResynthCache.library_lookup`), so every
+    rewrite step of one script canonizes each distinct cut function
+    once.  ``library`` pins the NPN library (default: the process-wide
+    shared instance).
+    """
+
+    rewrite: RewriteParams = field(default_factory=RewriteParams)
+    workers: int = 0
+    executor: "ResynthExecutor | None" = None
+    resynth_cache: "ResynthCache | None" = None
+    library: object | None = None
+
+    def resolved_workers(self) -> int:
+        if self.executor is not None:
+            return self.executor.workers
+        if self.workers > 0:
+            return self.workers
+        return os.cpu_count() or 1
+
+
+@dataclass
+class EngineStats(RefactorStats):
+    """`RefactorStats` plus the engine's scheduling counters.
+
+    One stats type serves every wave operator; ``operator`` records which
+    one ran.  For rewrite runs the inherited counters are mapped from
+    :class:`repro.opt.rewrite.RewriteStats`: ``cuts_formed`` counts
+    evaluated cuts (sequential ``cuts_tried``), ``fail_gain`` counts
+    nodes where no cut committed, and ``n_stale_cuts`` / ``n_library_hits``
+    are rewrite-specific (zero for refactor runs).
+    """
+
+    operator: str = "refactor"
     workers: int = 1
     delegated: bool = False  # ran the plain sequential operator
     n_candidates: int = 0
@@ -119,10 +161,12 @@ class EngineStats(RefactorStats):
     n_invalidated: int = 0
     n_resnapshotted: int = 0  # lazy cut/feature refreshes performed
     n_repair_waves: int = 0  # wave splits: repair rounds after deferrals
-    n_tasks: int = 0  # survivor resyntheses requested
-    n_unique_tasks: int = 0  # after wave dedup + cross-pass/NPN cache hits
+    n_tasks: int = 0  # survivor evaluations requested
+    n_unique_tasks: int = 0  # after wave dedup + cross-pass cache hits
     n_cache_hits: int = 0  # exact resynthesis cache hits this pass
     n_npn_hits: int = 0  # NPN-class remap hits this pass
+    n_library_hits: int = 0  # rewrite-library layer hits this pass
+    n_stale_cuts: int = 0  # rewrite cuts dropped as stale (dead/uncovered)
     time_snapshot: float = 0.0
     time_conflict: float = 0.0
     time_parallel: float = 0.0  # wall time inside the worker pool
@@ -131,7 +175,7 @@ class EngineStats(RefactorStats):
 
     @property
     def dedup_rate(self) -> float:
-        """Fraction of resynthesis tasks eliminated by dedup + caching."""
+        """Fraction of evaluation tasks eliminated by dedup + caching."""
         if self.n_tasks == 0:
             return 0.0
         return 1.0 - self.n_unique_tasks / self.n_tasks
@@ -159,7 +203,57 @@ def engine_refactor(
     workers = params.resolved_workers()
     if workers <= 1:
         return _delegate_sequential(g, params, classifier)
-    return _wave_refactor(g, params, classifier, workers)
+
+    stats = EngineStats(workers=workers)
+    base_cache = params.resynth_cache
+    if base_cache is None:
+        base_cache = ResynthCache()
+    executor = params.executor
+    own_executor = executor is None
+    if own_executor:
+        executor = ResynthExecutor(workers, params.refactor)
+    op = RefactorWaveOp(
+        params.refactor,
+        base_cache.npn_view(),
+        executor,
+        want_features=classifier is not None,
+    )
+    try:
+        run_wave_pass(g, op, stats, classifier=classifier)
+    finally:
+        if own_executor:
+            executor.close()
+    return stats
+
+
+def engine_rewrite(
+    g: AIG,
+    params: RewriteEngineParams | None = None,
+) -> EngineStats:
+    """One conflict-wave rewrite pass over ``g`` in place.
+
+    The same scheduler as :func:`engine_refactor`, driving the
+    :class:`repro.engine.operators.RewriteWaveOp` adapter; ``workers <= 1``
+    delegates to the sequential :func:`repro.opt.rewrite.rewrite`
+    bit-identically.
+    """
+    from ..opt.npn_library import default_library
+
+    params = params or RewriteEngineParams()
+    workers = params.resolved_workers()
+    if workers <= 1:
+        return _delegate_sequential_rewrite(g, params)
+
+    stats = EngineStats(workers=workers, operator="rewrite")
+    base_cache = params.resynth_cache
+    if base_cache is None:
+        base_cache = ResynthCache()
+    library = params.library
+    if library is None:  # NB: a fresh library is empty and therefore falsy
+        library = default_library()
+    op = RewriteWaveOp(params.rewrite, base_cache, library)
+    run_wave_pass(g, op, stats, classifier=None)
+    return stats
 
 
 def _delegate_sequential(g: AIG, params: EngineParams, classifier) -> EngineStats:
@@ -189,45 +283,49 @@ def _delegate_sequential(g: AIG, params: EngineParams, classifier) -> EngineStat
     return stats
 
 
-def _wave_refactor(
-    g: AIG,
-    params: EngineParams,
-    classifier,
-    workers: int,
-) -> EngineStats:
-    stats = EngineStats(workers=workers)
-    start = time.perf_counter()
-    rparams = params.refactor
-    required = RequiredLevels(g) if rparams.preserve_levels else None
-    want_features = classifier is not None
+def _delegate_sequential_rewrite(g: AIG, params: RewriteEngineParams) -> EngineStats:
+    """``workers <= 1`` rewrite mode: run ``rewrite()`` itself, bit for bit,
+    then map its counters onto the engine's stats shape."""
+    base: RewriteStats = rewrite(g, params.rewrite, library=params.library)
+    stats = EngineStats(workers=1, delegated=True, operator="rewrite")
+    stats.nodes_visited = base.nodes_visited
+    stats.cuts_formed = base.cuts_tried
+    stats.commits = base.commits
+    stats.gain_total = base.gain_total
+    stats.n_stale_cuts = base.stale_cuts
+    stats.time_total = base.time_total
+    stats.n_candidates = base.nodes_visited
+    stats.n_waves = 1 if base.nodes_visited else 0
+    return stats
 
-    # Phase 1: snapshot sweep (cuts, features, MFFCs on the intact graph).
+
+def run_wave_pass(
+    g: AIG,
+    op: WaveOperator,
+    stats: EngineStats,
+    classifier=None,
+) -> EngineStats:
+    """Run one generic wave pass of ``op`` over ``g`` in place.
+
+    The scheduler owns everything operator-agnostic — candidate
+    bookkeeping, conflict planning, wave coloring, fused classification
+    (when ``classifier`` is given and the operator snapshots features),
+    invalidation and repair waves — and calls the operator's hooks for
+    the rest.  ``stats`` is the caller-constructed :class:`EngineStats`
+    (mutated in place and returned).
+    """
+    start = time.perf_counter()
+
+    # Phase 1: pass-level prep + snapshot sweep on the intact graph.
     t0 = time.perf_counter()
+    op.prepare(g, stats)
     candidates: list[Candidate] = []
-    n_trivial = 0
-    max_leaves = rparams.max_leaves
     for node in g.iter_ands():
-        cut = reconv_cut(g, node, max_leaves, collect_features=want_features)
-        if cut.n_leaves < 2:
-            n_trivial += 1
-            continue
-        mffc = frozenset(mffc_nodes(g, node, boundary=set(cut.leaves)))
-        candidates.append(
-            Candidate(
-                node=node,
-                leaves=tuple(cut.leaves),
-                interior=frozenset(cut.interior),
-                mffc=mffc,
-                features=cut.features,
-            )
-        )
+        candidate = op.snapshot(g, node, stats)
+        if candidate is not None:
+            candidates.append(candidate)
     stats.time_snapshot = time.perf_counter() - t0
     stats.time_cut += stats.time_snapshot
-    # Degenerate cuts mirror the sequential accounting (visited, formed,
-    # failed) without entering the wave machinery.
-    stats.nodes_visited += n_trivial
-    stats.cuts_formed += n_trivial
-    stats.fail_trivial += n_trivial
     stats.n_candidates = len(candidates)
 
     # Phase 2: conflict planning over the shared inverted index.
@@ -240,82 +338,58 @@ def _wave_refactor(
     stats.n_conflict_edges = n_edges
     stats.time_conflict = time.perf_counter() - t0
 
-    # Phases 3+4, wave by wave.  An external executor (serving layer)
-    # outlives this pass; an owned one is torn down with it.  Same for
-    # the resynthesis cache (flow layer), read through its NPN view.
-    base_cache = params.resynth_cache
-    if base_cache is None:
-        base_cache = ResynthCache()
-    cache = base_cache.npn_view()
-    owner = cache._owner()
-    hits_exact0, hits_npn0 = owner.hits_exact, owner.hits_npn
-    executor = params.executor
-    own_executor = executor is None
-    if own_executor:
-        executor = ResynthExecutor(workers, rparams)
-    # Snapshots describe the graph as of now; discard older damage.
+    # Phases 3+4, wave by wave.  Snapshots describe the graph as of now;
+    # discard older damage.
     g.drain_dirty()
     pending = set(range(len(candidates)))
     stale: set[int] = set()  # invalidated, not yet re-snapshotted
-    try:
-        for wave in wave_queue:
-            members = [i for i in wave if i in pending]
-            repair = False
-            while members:
-                stats.n_waves += 1
-                if repair:
-                    stats.n_repair_waves += 1
-                deferred = _run_wave(
-                    g,
-                    members,
-                    candidates,
-                    index,
-                    classifier,
-                    rparams,
-                    required,
-                    cache,
-                    executor,
-                    stats,
-                    pending,
-                    stale,
-                    want_features,
-                )
-                # Members invalidated mid-wave split off into a repair
-                # wave that runs immediately, preserving the sequential
-                # sweep's node-order locality.
-                members = sorted(i for i in deferred if i in pending)
-                repair = True
-    finally:
-        if own_executor:
-            executor.close()
-    stats.n_cache_hits = owner.hits_exact - hits_exact0
-    stats.n_npn_hits = owner.hits_npn - hits_npn0
+    for wave in wave_queue:
+        members = [i for i in wave if i in pending]
+        repair = False
+        while members:
+            stats.n_waves += 1
+            if repair:
+                stats.n_repair_waves += 1
+            deferred = _run_wave(
+                g,
+                op,
+                members,
+                candidates,
+                index,
+                classifier,
+                stats,
+                pending,
+                stale,
+            )
+            # Members invalidated mid-wave split off into a repair wave
+            # that runs immediately, preserving the sequential sweep's
+            # node-order locality.
+            members = sorted(i for i in deferred if i in pending)
+            repair = True
+    op.finish(stats)
     stats.time_total = time.perf_counter() - start
     return stats
 
 
 def _refresh_members(
     g: AIG,
+    op: WaveOperator,
     member_indices: list[int],
     candidates: list[Candidate],
     index: CandidateIndex,
-    rparams: RefactorParams,
-    want_features: bool,
     stats: EngineStats,
     pending: set[int],
     stale: set[int],
 ) -> list[tuple[int, Candidate]]:
     """Lazily re-snapshot the stale members of a wave about to run.
 
-    Invalidated candidates keep their wave slot; the refresh — a fresh
-    reconvergence cut, features when a classifier runs, and the
-    conservative ``mffc = interior`` bound (the cut-bounded MFFC is a
-    subset of the interior, and the commit-time gain check recomputes
-    the exact value anyway) — happens exactly once per wave arrival, on
-    the graph every earlier commit already shaped.  Dead roots are
-    dropped (the commit cascade consumed them; the sequential sweep
-    skips those too) and re-cut cones that collapsed below two leaves
-    are accounted like the snapshot phase accounts degenerate cuts.
+    Invalidated candidates keep their wave slot; the refresh — the
+    operator's ``resnapshot`` hook, on the graph every earlier commit
+    already shaped — happens exactly once per wave arrival.  Dead roots
+    are dropped (the commit cascade consumed them; the sequential sweep
+    skips those too), and roots the operator declines to re-snapshot
+    (collapsed cuts, all-stale cut sets) are accounted by the hook and
+    dropped as well.
     """
     refreshed: list[tuple[int, Candidate]] = []
     t0 = time.perf_counter()
@@ -324,25 +398,13 @@ def _refresh_members(
             refreshed.append((i, candidates[i]))
             continue
         stale.discard(i)
-        node = candidates[i].node
-        if g.is_dead(node):
+        if g.is_dead(candidates[i].node):
             pending.discard(i)
             continue
-        cut = reconv_cut(g, node, rparams.max_leaves, collect_features=want_features)
-        if cut.n_leaves < 2:
-            stats.nodes_visited += 1
-            stats.cuts_formed += 1
-            stats.fail_trivial += 1
+        fresh = op.resnapshot(g, candidates[i], stats)
+        if fresh is None:
             pending.discard(i)
             continue
-        interior = frozenset(cut.interior)
-        fresh = Candidate(
-            node=node,
-            leaves=tuple(cut.leaves),
-            interior=interior,
-            mffc=interior,
-            features=cut.features,
-        )
         candidates[i] = fresh
         index.add(i, fresh)
         stats.n_resnapshotted += 1
@@ -353,41 +415,30 @@ def _refresh_members(
 
 def _run_wave(
     g: AIG,
+    op: WaveOperator,
     member_indices: list[int],
     candidates: list[Candidate],
     index: CandidateIndex,
     classifier,
-    rparams: RefactorParams,
-    required: RequiredLevels | None,
-    cache: ResynthCache,
-    executor: ResynthExecutor,
     stats: EngineStats,
     pending: set[int],
     stale: set[int],
-    want_features: bool,
 ) -> set[int]:
-    """Classify, batch-evaluate, resynthesize and commit one wave.
+    """Classify, batch-evaluate and commit one wave through the operator.
 
-    Stale members are re-snapshotted up front, so the batch kernels only
-    ever see cuts that describe the current graph.  Returns the indices
-    deferred mid-wave (an earlier commit of this same wave dirtied their
-    cone); the caller runs them as a repair wave next.
+    Stale members are re-snapshotted up front, so the operator's batch
+    evaluation only ever sees snapshots that describe the current graph.
+    Returns the indices deferred mid-wave (an earlier commit of this
+    same wave dirtied their cone); the caller runs them as a repair wave
+    next.
     """
     members = _refresh_members(
-        g,
-        member_indices,
-        candidates,
-        index,
-        rparams,
-        want_features,
-        stats,
-        pending,
-        stale,
+        g, op, member_indices, candidates, index, stats, pending, stale
     )
 
     # One fused classification per wave over the stacked feature matrix.
     survivors: list[tuple[int, Candidate]] = []
-    if classifier is not None:
+    if classifier is not None and op.wants_features:
         if not members:
             return set()
         t0 = time.perf_counter()
@@ -404,71 +455,30 @@ def _run_wave(
     else:
         survivors = members
 
-    # Truth tables of all surviving cones in one batched kernel call.
-    t0 = time.perf_counter()
-    tts = batch_cone_truths(
-        g, [(c.node, c.leaves, c.interior) for _, c in survivors]
-    )
-    stats.time_truth += time.perf_counter() - t0
-
-    # Resolve each unique cut function through the cross-pass cache; only
-    # true misses are shipped to the worker pool.
-    entries: dict[tuple[int, int], tuple | None] = {}
-    todo: list[tuple[int, int]] = []
-    for (_i, candidate), tt in zip(survivors, tts):
-        key = (tt, len(candidate.leaves))
-        if key in entries:
-            continue
-        hit = cache.get(key)
-        entries[key] = hit
-        if hit is None:
-            todo.append(key)
-    stats.n_tasks += len(survivors)
-    stats.n_unique_tasks += len(todo)
-    if todo:
-        pooled = executor.will_pool(len(todo))
-        t0 = time.perf_counter()
-        for key, entry in zip(todo, executor.run(todo)):
-            cache[key] = entry
-            entries[key] = entry
-        elapsed = time.perf_counter() - t0
-        if pooled:
-            stats.time_parallel += elapsed
-        stats.time_resynth += elapsed
+    # The operator's batchable middle: truth kernels, cache lookups,
+    # pooled resynthesis — whatever the operator fuses per wave.
+    results = op.evaluate(g, survivors, stats)
 
     # Serial replay in ascending node order.  Each commit drains the
     # dirty journal and pushes the killed set through the candidate
     # index: invalidated candidates anywhere in the schedule are marked
-    # stale (their wave re-cuts them lazily on arrival), and invalidated
-    # members of *this* wave are additionally deferred so the caller can
-    # split them off into an immediate repair wave.
+    # stale (their wave refreshes them lazily on arrival), and
+    # invalidated members of *this* wave are additionally deferred so
+    # the caller can split them off into an immediate repair wave.
     t0 = time.perf_counter()
-    replay = sorted(zip(survivors, tts), key=lambda item: item[0][1].node)
+    replay = sorted(zip(survivors, results), key=lambda item: item[0][1].node)
     unprocessed = {i for i, _ in survivors}
     deferred: set[int] = set()
-    for (i, candidate), tt in replay:
+    for (i, candidate), result in replay:
         unprocessed.discard(i)
         if i in deferred:
             continue  # stays pending; the repair wave re-snapshots it
-        node = candidate.node
-        if g.is_dead(node):  # pragma: no cover - journal catches this first
+        if g.is_dead(candidate.node):  # pragma: no cover - journal catches this first
             deferred.add(i)
             stale.add(i)
             continue
-        stats.nodes_visited += 1
-        stats.cuts_formed += 1
-        entry = entries[(tt, len(candidate.leaves))]
         commit_dirty: set[int] = set()
-        commit_tree(
-            g,
-            node,
-            list(candidate.leaves),
-            rparams,
-            required,
-            stats,
-            lambda entry=entry: entry,
-            dirty=commit_dirty,
-        )
+        op.commit(g, candidate, result, stats, commit_dirty)
         pending.discard(i)
         if commit_dirty:
             invalidated = index.invalidated(commit_dirty, pending)
@@ -477,4 +487,3 @@ def _run_wave(
             deferred |= invalidated & unprocessed
     stats.time_replay += time.perf_counter() - t0
     return deferred
-

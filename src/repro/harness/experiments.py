@@ -146,8 +146,9 @@ def comparison_rows(
 class EngineScalingRow:
     """One (design, workers) measurement of the conflict-wave engine.
 
-    ``workers == 0`` encodes the sequential ``refactor()`` baseline the
-    speedups are normalized against.
+    ``workers == 0`` encodes the sequential baseline the speedups are
+    normalized against; ``operator`` names the wave operator measured
+    (``"refactor"`` or ``"rewrite"``).
     """
 
     design: str
@@ -159,8 +160,9 @@ class EngineScalingRow:
     n_waves: int = 0
     n_stale: int = 0  # structurally 0 since the sequential fallback died
     n_resnapshotted: int = 0  # cross-wave incremental snapshot refreshes
-    dedup_rate: float = 0.0  # resynthesis tasks eliminated by dedup/cache
+    dedup_rate: float = 0.0  # evaluation tasks eliminated by dedup/cache
     commits: int = 0
+    operator: str = "refactor"
     graph: AIG | None = None  # the optimized clone (for CEC by callers)
 
 
@@ -169,24 +171,72 @@ def engine_scaling(
     workers_list: tuple[int, ...] = (1, 2, 4),
     params=None,
     classifier: ElfClassifier | None = None,
+    operator: str = "refactor",
 ) -> list[EngineScalingRow]:
-    """Sequential sweep vs the engine at each worker count (fresh clones).
+    """Sequential sweep vs the wave engine at each worker count.
 
-    The first returned row (``workers == 0``) is the sequential
-    baseline; every engine row carries its speedup against it.
+    Every run starts from a fresh clone.  The first returned row
+    (``workers == 0``) is the sequential baseline; every engine row
+    carries its speedup against it.  ``operator`` selects the wave
+    operator: ``"refactor"`` (optionally classifier-pruned) or
+    ``"rewrite"``; rewrite runs use a private NPN library per timed run
+    so no run starts with another's canonization cache.
     """
     import time as _time
 
-    from ..engine import EngineParams, engine_refactor
+    from ..engine import (
+        EngineParams,
+        RewriteEngineParams,
+        engine_refactor,
+        engine_rewrite,
+    )
+    from ..opt.npn_library import NpnLibrary
+    from ..opt.rewrite import rewrite as rewrite_pass
     from ..tt.isop import clear_isop_memo
 
-    engine_params = params or EngineParams()
+    if operator not in ("refactor", "rewrite"):
+        raise ValueError(f"unknown engine_scaling operator {operator!r}")
+    if operator == "rewrite":
+        rewrite_params = params or RewriteEngineParams()
+
+        def run_baseline(clone):
+            return rewrite_pass(clone, rewrite_params.rewrite, library=NpnLibrary())
+
+        def run_engine(clone, workers):
+            return engine_rewrite(
+                clone,
+                RewriteEngineParams(
+                    rewrite=rewrite_params.rewrite,
+                    workers=workers,
+                    library=NpnLibrary(),
+                ),
+            )
+
+    else:
+        engine_params = params or EngineParams()
+
+        def run_baseline(clone):
+            return refactor(clone, engine_params.refactor)
+
+        def run_engine(clone, workers):
+            return engine_refactor(
+                clone,
+                EngineParams(refactor=engine_params.refactor, workers=workers),
+                classifier=classifier,
+            )
+
+    # One untimed full-size pass first: the first big pass of a process
+    # pays one-time costs (bytecode warmup, allocator arena growth) that
+    # would otherwise be billed entirely to whichever run goes first —
+    # historically the sequential baseline, inflating every speedup.
+    run_baseline(g.clone())
+
     baseline_g = g.clone()
     # Every timed run starts with a cold process-wide ISOP memo, so the
     # comparison is mode vs mode, not cold-cache vs warm-cache.
     clear_isop_memo()
     t0 = _time.perf_counter()
-    baseline_stats = refactor(baseline_g, engine_params.refactor)
+    baseline_stats = run_baseline(baseline_g)
     baseline_runtime = _time.perf_counter() - t0
     rows = [
         EngineScalingRow(
@@ -197,6 +247,7 @@ def engine_scaling(
             level=baseline_g.max_level(),
             speedup=1.0,
             commits=baseline_stats.commits,
+            operator=operator,
             graph=baseline_g,
         )
     ]
@@ -204,11 +255,7 @@ def engine_scaling(
         engine_g = g.clone()
         clear_isop_memo()
         t0 = _time.perf_counter()
-        stats = engine_refactor(
-            engine_g,
-            EngineParams(refactor=engine_params.refactor, workers=workers),
-            classifier=classifier,
-        )
+        stats = run_engine(engine_g, workers)
         runtime = _time.perf_counter() - t0
         rows.append(
             EngineScalingRow(
@@ -223,6 +270,7 @@ def engine_scaling(
                 n_resnapshotted=stats.n_resnapshotted,
                 dedup_rate=stats.dedup_rate,
                 commits=stats.commits,
+                operator=operator,
                 graph=engine_g,
             )
         )

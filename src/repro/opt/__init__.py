@@ -2,7 +2,7 @@
 balance, and flow scripting."""
 
 from .balance import balance
-from .flow import COMPRESS2, RESYN2, FlowReport, FlowStep, run_flow
+from .flow import COMPRESS2, RESYN2, FlowReport, FlowStep, canonical_command, run_flow
 from .npn_library import LibraryEntry, NpnLibrary, default_library
 from .refactor import RefactorParams, RefactorStats, commit_tree, refactor, refactor_node
 from .resub import ResubParams, ResubStats, resub
@@ -22,6 +22,7 @@ __all__ = [
     "RewriteParams",
     "RewriteStats",
     "balance",
+    "canonical_command",
     "commit_tree",
     "default_library",
     "refactor",

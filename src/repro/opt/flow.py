@@ -5,7 +5,13 @@
 node counts, depths and runtimes — this powers the paper's claim that
 refactor consumes 20-40% of a resyn2-style flow despite running only
 twice (SS II).  ELF steps (``elf``/``elfz``) slot into the same scripts
-when a classifier is supplied.
+when a classifier is supplied, and every operator with a wave engine
+has a parallel spelling (``pf``/``pelf``/``prw`` + zero-cost variants).
+
+Steps record both the raw command as spelled in the script and its
+*normalized* form (aliases resolved: ``f`` -> ``rf``, ``fz`` -> ``rfz``);
+:meth:`FlowReport.runtime_of` / :meth:`FlowReport.fraction_of` match on
+the normalized form, so alias spellings count toward their operator.
 """
 
 from __future__ import annotations
@@ -25,16 +31,39 @@ RESYN2 = "b; rw; rf; b; rw; rwz; b; rfz; rwz; b"
 
 COMPRESS2 = "b -l; rw -l; rf -l; b -l; rw -l; rwz -l; b -l; rfz -l; rwz -l; b -l"
 
+# Alternate spellings -> canonical command names (the ELF paper spells
+# refactor ``f``).  Normalization keeps any flags untouched.
+_ALIASES = {"f": "rf", "fz": "rfz"}
+
+
+def canonical_command(command: str) -> str:
+    """``command`` with its operator alias resolved (flags preserved)."""
+    parts = command.split()
+    if not parts:
+        return command.strip()
+    parts[0] = _ALIASES.get(parts[0], parts[0])
+    return " ".join(parts)
+
 
 @dataclass
 class FlowStep:
-    """Outcome of one flow command."""
+    """Outcome of one flow command.
+
+    ``command`` keeps the raw spelling from the script; ``normalized``
+    is the alias-resolved form the report's accounting matches on (it
+    defaults from ``command`` when not given).
+    """
 
     command: str
     runtime: float
     n_ands: int
     level: int
     detail: object = None
+    normalized: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.normalized:
+            self.normalized = canonical_command(self.command)
 
 
 @dataclass
@@ -49,8 +78,9 @@ class FlowReport:
         return sum(s.runtime for s in self.steps)
 
     def runtime_of(self, prefix: str) -> float:
-        """Total runtime of steps whose command starts with ``prefix``."""
-        return sum(s.runtime for s in self.steps if s.command.startswith(prefix))
+        """Total runtime of steps whose *normalized* command starts with
+        ``prefix`` — so ``runtime_of("rf")`` counts ``f``/``fz`` steps too."""
+        return sum(s.runtime for s in self.steps if s.normalized.startswith(prefix))
 
     def fraction_of(self, prefix: str) -> float:
         total = self.total_runtime
@@ -68,28 +98,32 @@ def run_flow(
 
     Commands: ``b`` (balance), ``rw``/``rwz`` (rewrite / zero-cost),
     ``rf``/``rfz`` (refactor / zero-cost; ``f``/``fz`` are aliases),
-    ``rs`` (resub), ``elf``/``elfz`` (ELF-pruned refactor; needs
-    ``classifier``), ``pf``/``pfz`` (conflict-wave parallel refactor)
-    and ``pelf``/``pelfz`` (parallel ELF; needs ``classifier``).  A
-    ``-l`` suffix preserves levels where the operator supports it; the
-    parallel commands accept ``-w N`` to pin the worker count (default:
-    one per core).
+    ``rs``/``rsz`` (resub / zero-cost), ``elf``/``elfz`` (ELF-pruned
+    refactor; needs ``classifier``), ``pf``/``pfz`` (conflict-wave
+    parallel refactor), ``pelf``/``pelfz`` (parallel ELF; needs
+    ``classifier``) and ``prw``/``prwz`` (conflict-wave parallel
+    rewrite).  A ``-l`` suffix preserves levels where the operator
+    supports it; the parallel commands accept ``-w N`` to pin the worker
+    count (default: one per core).
 
     The server hooks: ``engine_workers`` is the worker count applied to
     parallel commands that carry no explicit ``-w`` (so a serving layer
     can pin determinism-critical runs to one worker without rewriting
     scripts), and ``engine_executor`` is a shared
-    :class:`repro.engine.ResynthExecutor` reused by every parallel step
-    instead of forking a pool per step (it overrides the worker count
-    and is left open).
+    :class:`repro.engine.ResynthExecutor` reused by every parallel
+    refactor step instead of forking a pool per step (it overrides the
+    worker count and is left open; ``prw`` reads only its width —
+    rewrite evaluation never dispatches to the pool).
 
-    Every refactor-family step of one script shares a single
-    cross-pass :class:`repro.engine.ResynthCache`, so e.g. the second
-    ``elf`` of ``elf; elf`` starts with every factored form the first
-    derived (the flow builds all refactor params with the same factoring
-    knobs, which is what makes the cache sound to share).  Sequential
-    steps take exact hits only — bit-identical to running uncached —
-    while the wave engine also reuses NPN-equivalent 4-leaf forms.
+    Every refactor- and rewrite-family step of one script shares a
+    single cross-pass :class:`repro.engine.ResynthCache`, so e.g. the
+    second ``elf`` of ``elf; elf`` starts with every factored form the
+    first derived, and every ``prw`` wave reuses the script's cached
+    NPN-library resolutions (the flow builds all refactor params with
+    the same factoring knobs, which is what makes the cache sound to
+    share).  Sequential steps take exact hits only — bit-identical to
+    running uncached — while the wave engine also reuses NPN-equivalent
+    4-leaf forms.
     """
     from ..engine import ResynthCache
 
@@ -110,6 +144,7 @@ def run_flow(
                 n_ands=g.n_ands,
                 level=g.max_level(),
                 detail=detail,
+                normalized=canonical_command(command),
             )
         )
     return g, report
@@ -123,7 +158,7 @@ def _execute(
     engine_executor=None,
     resynth_cache=None,
 ):
-    parts = command.split()
+    parts = canonical_command(command).split()
     op = parts[0]
     preserve = "-l" in parts[1:]
     if op == "b":
@@ -133,8 +168,6 @@ def _execute(
             g, RewriteParams(zero_cost=op.endswith("z"), preserve_levels=preserve)
         )
         return g, stats
-    if op in ("f", "fz"):  # ELF-paper spelling of the refactor command
-        op = "r" + op
     if op in ("rf", "rfz"):
         stats = refactor(
             g,
@@ -142,8 +175,8 @@ def _execute(
             cache=resynth_cache,
         )
         return g, stats
-    if op == "rs":
-        return g, resub(g, ResubParams(zero_cost=False))
+    if op in ("rs", "rsz"):
+        return g, resub(g, ResubParams(zero_cost=op.endswith("z")))
     if op in ("elf", "elfz"):
         if classifier is None:
             raise ReproError(f"flow step {op!r} requires a classifier")
@@ -165,16 +198,9 @@ def _execute(
             raise ReproError(f"flow step {op!r} requires a classifier")
         from ..engine import EngineParams, engine_refactor
 
-        workers = _parse_workers(parts[1:])
-        explicit = workers > 0
-        if not explicit and engine_workers is not None:
-            workers = engine_workers
-        # A script's explicit ``-w N`` always wins: a shared executor of a
-        # different width is dropped rather than silently overriding the
-        # pinned count (``pf -w 1`` must stay the bit-identical mode).
-        executor = engine_executor
-        if explicit and executor is not None and executor.workers != workers:
-            executor = None
+        workers, executor = _resolve_engine_workers(
+            parts[1:], engine_workers, engine_executor
+        )
         stats = engine_refactor(
             g,
             EngineParams(
@@ -188,7 +214,44 @@ def _execute(
             classifier=classifier if op.startswith("pelf") else None,
         )
         return g, stats
+    if op in ("prw", "prwz"):
+        from ..engine import RewriteEngineParams, engine_rewrite
+
+        workers, executor = _resolve_engine_workers(
+            parts[1:], engine_workers, engine_executor
+        )
+        stats = engine_rewrite(
+            g,
+            RewriteEngineParams(
+                rewrite=RewriteParams(
+                    zero_cost=op.endswith("z"), preserve_levels=preserve
+                ),
+                workers=workers,
+                executor=executor,
+                resynth_cache=resynth_cache,
+            ),
+        )
+        return g, stats
     raise ReproError(f"unknown flow command {command!r}")
+
+
+def _resolve_engine_workers(args: list[str], engine_workers, engine_executor):
+    """Worker count + executor for one parallel step.
+
+    A script's explicit ``-w N`` always wins: a shared executor of a
+    different width is dropped rather than silently overriding the
+    pinned count (``pf -w 1`` / ``prw -w 1`` must stay the bit-identical
+    mode).  Without ``-w``, the server-level ``engine_workers`` applies,
+    and a shared executor's width governs as usual.
+    """
+    workers = _parse_workers(args)
+    explicit = workers > 0
+    if not explicit and engine_workers is not None:
+        workers = engine_workers
+    executor = engine_executor
+    if explicit and executor is not None and executor.workers != workers:
+        executor = None
+    return workers, executor
 
 
 def _parse_workers(args: list[str]) -> int:

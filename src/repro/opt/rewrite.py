@@ -9,6 +9,23 @@ Cuts are enumerated once per pass on the entering network; cuts
 invalidated by earlier commits in the same pass are detected (dead
 leaves / uncovered cones) and skipped, which matches the greedy one-pass
 character of the original.
+
+The per-node work is split into three reusable phases shared with the
+conflict-wave engine (:mod:`repro.engine.operators`):
+
+* **snapshot** — :func:`usable_node_cuts` filters a node's enumerated
+  cuts down to the live, >= 2-leaf ones (counting the stale rest);
+* **evaluate** — :func:`evaluate_cut` is the pure
+  ``truth table -> (library entry, NPN transform)`` lookup, the step the
+  engine batches and caches per wave;
+* **commit** — :func:`commit_scored` gain-checks every scored cut
+  against the *current* graph (MFFC, strash-aware node count, optional
+  required-level bound) and commits the best, exactly once.
+
+The sequential :func:`rewrite` composes the three per node; the wave
+scheduler runs snapshot once per candidate, evaluate once per wave and
+commit serially at replay.  Both paths therefore share one
+implementation of every graph-facing decision.
 """
 
 from __future__ import annotations
@@ -25,6 +42,9 @@ from ..cuts.enumerate import enumerate_cuts, node_cuts
 from ..errors import TruthTableError
 from ..factor.to_aig import build_tree, count_tree
 from .npn_library import NpnLibrary, default_library
+
+N_LIBRARY_VARS = 4
+"""Library cut width: every scored cut is padded to this many variables."""
 
 
 @dataclass
@@ -52,7 +72,8 @@ def rewrite(
 ) -> RewriteStats:
     """One rewrite pass over ``g`` in place."""
     params = params or RewriteParams()
-    library = library or default_library()
+    if library is None:  # NB: a fresh library is empty and therefore falsy
+        library = default_library()
     stats = RewriteStats()
     g.drain_dirty()  # sequential pass: retire the previous journal epoch
     start = time.perf_counter()
@@ -67,32 +88,72 @@ def rewrite(
     return stats
 
 
-def _rewrite_node(
+def usable_node_cuts(
     g: AIG,
     node: int,
     all_cuts,
-    library: NpnLibrary,
-    params: RewriteParams,
-    required: RequiredLevels | None,
-    stats: RewriteStats,
-) -> bool:
-    best = None  # (gain, -cost, tree, arranged_lits, out_invert, mffc_leaves)
+) -> tuple[list[list[int]], int]:
+    """Snapshot phase: the node's live, non-trivial cuts as sorted leaves.
+
+    Returns ``(cuts, n_stale)`` where ``n_stale`` counts enumerated cuts
+    dropped because a leaf died since enumeration (earlier commits of the
+    same pass).  Single-leaf cuts are silently skipped, as in the
+    original sweep.
+    """
+    cuts: list[list[int]] = []
+    n_stale = 0
     for cut in node_cuts(g, node, all_cuts):
         if len(cut) < 2:
             continue
         leaves = sorted(cut)
         if any(g.is_dead(leaf) for leaf in leaves):
-            stats.stale_cuts += 1
+            n_stale += 1
             continue
-        try:
-            tt = cone_truth(g, node, leaves)
-        except TruthTableError:
-            stats.stale_cuts += 1
-            continue
-        stats.cuts_tried += 1
-        padded = leaves + [0] * (4 - len(leaves))
-        tt4 = _pad_tt(tt, len(leaves))
-        entry, transform = library.lookup(tt4)
+        cuts.append(leaves)
+    return cuts, n_stale
+
+
+def evaluate_cut(tt: int, n_leaves: int, library: NpnLibrary, cache=None):
+    """Evaluate phase: library entry + NPN transform for one cut function.
+
+    Pure in ``(tt, n_leaves)`` — no graph access — which is what lets the
+    wave engine batch it per wave.  ``cache`` — when given — routes the
+    resolution through a cross-pass memo layer
+    (:meth:`repro.engine.cache.ResynthCache.library_lookup`), which is
+    how the engine makes every distinct function canonize once per flow;
+    both paths run this one pad + lookup implementation.
+    """
+    tt4 = pad_tt(tt, n_leaves)
+    if cache is not None:
+        return cache.library_lookup(tt4, library)
+    return library.lookup(tt4)
+
+
+def commit_scored(
+    g: AIG,
+    node: int,
+    scored: list,
+    library: NpnLibrary,
+    params: RewriteParams,
+    required: RequiredLevels | None,
+    dirty: set[int] | None = None,
+) -> int | None:
+    """Commit phase: gain-check every scored cut, commit the best.
+
+    ``scored`` is a list of ``(leaves, entry, transform)`` triples from
+    :func:`evaluate_cut`; everything graph-dependent — the cut-bounded
+    MFFC, the strash-aware node count, the required-level bound and the
+    final build/replace — is evaluated here, against the graph as it is
+    *now*, which is what makes the function safe to defer to the wave
+    engine's serial replay.  Returns the realized gain (AND nodes
+    removed) or ``None`` when no cut commits.
+
+    ``dirty`` — when given — accumulates the node kills this commit
+    journaled, mirroring :func:`repro.opt.refactor.commit_tree`.
+    """
+    best = None  # ((gain, -cost), tree, arranged_lits, out_invert, leaves)
+    for leaves, entry, transform in scored:
+        padded = list(leaves) + [0] * (N_LIBRARY_VARS - len(leaves))
         leaf_lits = [make_lit(leaf) for leaf in padded]
         arranged, flip = library.leaf_literals(leaf_lits, transform)
         out_invert = flip ^ entry.inverted
@@ -115,19 +176,48 @@ def _rewrite_node(
         if best is None or key > best[0]:
             best = (key, entry.tree, arranged, out_invert, leaves)
     if best is None:
-        return False
+        return None
     _key, tree, arranged, out_invert, _leaves = best
     built = build_tree(g, tree, arranged, avoid_root=node)
     if built is None or lit_node(built) == node:
-        return False
+        return None
     before = g.n_ands
     g.replace(node, lit_not(built) if out_invert else built)
+    if dirty is not None:
+        dirty.update(g.drain_dirty().killed)
+    return before - g.n_ands
+
+
+def _rewrite_node(
+    g: AIG,
+    node: int,
+    all_cuts,
+    library: NpnLibrary,
+    params: RewriteParams,
+    required: RequiredLevels | None,
+    stats: RewriteStats,
+) -> bool:
+    cuts, n_stale = usable_node_cuts(g, node, all_cuts)
+    stats.stale_cuts += n_stale
+    scored = []
+    for leaves in cuts:
+        try:
+            tt = cone_truth(g, node, leaves)
+        except TruthTableError:
+            stats.stale_cuts += 1
+            continue
+        stats.cuts_tried += 1
+        entry, transform = evaluate_cut(tt, len(leaves), library)
+        scored.append((leaves, entry, transform))
+    gain = commit_scored(g, node, scored, library, params, required)
+    if gain is None:
+        return False
     stats.commits += 1
-    stats.gain_total += before - g.n_ands
+    stats.gain_total += gain
     return True
 
 
-def _pad_tt(tt: int, n_leaves: int) -> int:
+def pad_tt(tt: int, n_leaves: int) -> int:
     """Extend a k<4-leaf truth table to 4 variables (new vars are don't-
     affect: the function simply ignores them)."""
     width = 1 << n_leaves

@@ -192,7 +192,12 @@ def needs_classifier(script: str) -> bool:
 
 
 def needs_engine_pool(script: str) -> bool:
-    """Does any command of ``script`` dispatch to the engine worker pool?"""
+    """Does any command of ``script`` dispatch to the engine worker pool?
+
+    Deliberately excludes ``prw``/``prwz``: the wave-rewrite engine
+    evaluates through memoized NPN-library lookups and never ships work
+    to a process pool, so rewrite-only flows serve without one.
+    """
     return any(
         part.strip().split()[0] in ("pf", "pfz", "pelf", "pelfz")
         for part in script.split(";")

@@ -205,6 +205,41 @@ class TestFlow:
         with pytest.raises(ReproError):
             run_flow(g, "frobnicate")
 
+    def test_alias_steps_count_toward_refactor(self):
+        g = random_aig(7, 150, 5, seed=11)
+        _out, report = run_flow(g, "f; fz; b")
+        # Raw spellings survive; accounting runs on the normalized form.
+        assert [s.command for s in report.steps] == ["f", "fz", "b"]
+        assert [s.normalized for s in report.steps] == ["rf", "rfz", "b"]
+        expected = report.steps[0].runtime + report.steps[1].runtime
+        assert report.runtime_of("rf") == pytest.approx(expected)
+        assert report.fraction_of("rf") == pytest.approx(
+            expected / report.total_runtime
+        )
+
+    def test_canonical_command_resolves_aliases_keeps_flags(self):
+        from repro.opt import canonical_command
+
+        assert canonical_command("f") == "rf"
+        assert canonical_command("fz -l") == "rfz -l"
+        assert canonical_command("rw -l") == "rw -l"
+        assert canonical_command("pf -w 2") == "pf -w 2"
+
+    def test_rsz_command_parity(self):
+        from repro.aig.io_bench import to_text
+
+        g = random_aig(7, 150, 5, seed=13)
+        via_flow, report = run_flow(g.clone(), "rsz")
+        manual = g.clone()
+        manual_stats = resub(manual, ResubParams(zero_cost=True))
+        assert to_text(via_flow) == to_text(manual)
+        assert report.steps[0].detail.commits == manual_stats.commits
+        # Plain ``rs`` stays the zero_cost=False spelling.
+        plain, _ = run_flow(g.clone(), "rs")
+        manual_plain = g.clone()
+        resub(manual_plain, ResubParams(zero_cost=False))
+        assert to_text(plain) == to_text(manual_plain)
+
     def test_elf_step_requires_classifier(self):
         g = random_aig(4, 10, 2, seed=0)
         with pytest.raises(ReproError):

@@ -4,10 +4,10 @@ Two checks, both cheap enough to run inside the default test target:
 
 1. **Module docstrings.**  Every ``.py`` file under ``src/repro/engine``
    and ``src/repro/serve`` — plus the individually listed hot-path
-   modules (``src/repro/aig/simulate.py``) — must carry a non-trivial
-   module docstring, so ``pydoc repro.engine`` / ``pydoc repro.serve``
-   always render a usable API reference.  Checked by AST parse — no
-   imports, no side effects.
+   modules (``src/repro/aig/simulate.py``, ``src/repro/opt/rewrite.py``)
+   — must carry a non-trivial module docstring, so ``pydoc
+   repro.engine`` / ``pydoc repro.serve`` always render a usable API
+   reference.  Checked by AST parse — no imports, no side effects.
 2. **README examples.**  Every fenced ```` ```python ```` block in
    ``README.md`` is executed (in one shared namespace, top to bottom, so
    later examples may build on earlier ones).  A README that drifts from
@@ -25,7 +25,10 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 DOCSTRING_TREES = ("src/repro/engine", "src/repro/serve")
-DOCSTRING_FILES = ("src/repro/aig/simulate.py",)
+DOCSTRING_FILES = (
+    "src/repro/aig/simulate.py",
+    "src/repro/opt/rewrite.py",
+)
 MIN_DOCSTRING_CHARS = 40  # a sentence, not a placeholder
 
 
