@@ -4,7 +4,7 @@ flow's runtime despite being invoked only twice (balance 3x, rewrite 4x).
 
 from repro.circuits import epfl_circuit
 from repro.harness import format_table, write_report
-from repro.opt import RESYN2, run_flow
+from repro.opt import OptSession, RESYN2
 
 from conftest import record_report
 
@@ -13,7 +13,8 @@ def test_flow_profile_refactor_share(benchmark):
     g = epfl_circuit("multiplier")
 
     def run():
-        return run_flow(g.clone(), RESYN2)
+        with OptSession() as session:
+            return session.run(g.clone(), RESYN2)
 
     _out, report = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [

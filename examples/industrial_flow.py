@@ -10,7 +10,7 @@ Run:  python examples/industrial_flow.py
 from repro.circuits import industrial_design, industrial_suite
 from repro.elf import collect_dataset, train_leave_one_out
 from repro.ml import TrainConfig
-from repro.opt import run_flow
+from repro.opt import OptSession
 from repro.verify import equivalent
 
 FLOW_BASE = "b; rw; rf; b; rfz; rw; b"
@@ -33,8 +33,12 @@ def main() -> None:
     g = industrial_design(target)
     print(f"design_{target}: {g.n_ands} ANDs, level {g.max_level()}")
 
-    base_out, base_report = run_flow(g.clone(), FLOW_BASE)
-    elf_out, elf_report = run_flow(g.clone(), FLOW_ELF, classifier=classifier)
+    # One session per flow: a session's resynthesis cache persists across
+    # its runs, and a warm start would flatter the ELF timing.
+    with OptSession() as session:
+        base_out, base_report = session.run(g.clone(), FLOW_BASE)
+    with OptSession(classifier=classifier) as session:
+        elf_out, elf_report = session.run(g.clone(), FLOW_ELF)
 
     print(f"\n{'step':8s} {'base s':>8s} {'elf s':>8s}")
     for bs, es in zip(base_report.steps, elf_report.steps):

@@ -25,7 +25,7 @@ generators), ``verify`` (SAT/CEC), ``analysis`` (t-SNE/SHAP), and
 from .aig import AIG
 from .elf import ElfClassifier, ElfParams, elf_refactor, elf_refactor_parallel
 from .engine import EngineParams, EngineStats, engine_refactor
-from .opt import RefactorParams, refactor
+from .opt import OptSession, RefactorParams, refactor, run_flow
 
 __version__ = "1.0.0"
 
@@ -35,10 +35,12 @@ __all__ = [
     "ElfParams",
     "EngineParams",
     "EngineStats",
+    "OptSession",
     "RefactorParams",
     "elf_refactor",
     "elf_refactor_parallel",
     "engine_refactor",
     "refactor",
+    "run_flow",
     "__version__",
 ]

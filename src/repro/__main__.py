@@ -1,0 +1,105 @@
+"""Command-line flow runner: ``python -m repro SCRIPT INPUT.bench``.
+
+Runs an ABC-style flow script on a BENCH netlist without writing any
+Python — a thin wrapper over :class:`repro.opt.OptSession`::
+
+    python -m repro "resyn2" input.bench -o out.bench
+    python -m repro "b; rw; rf" input.bench          # BENCH to stdout
+    python -m repro "pf -w 4; b" input.bench -o out.bench -w 2
+
+``SCRIPT`` is either a literal ``;``-separated command script or a named
+script (``resyn2``, ``compress2`` — case-insensitive).  ``-w N`` is the
+session's ``engine_workers`` passthrough: the worker count applied to
+parallel commands that carry no explicit per-command ``-w``.  The
+optimized network goes to ``-o`` (or stdout when omitted); the per-step
+report table goes to stderr unless ``-q`` silences it.  Commands that
+need a classifier (``elf``/``pelf``) are not servable from the CLI —
+train and deploy those through the Python API.
+
+Exit status: 0 on success, 2 for usage/flow errors (unknown command,
+unsupported flag, malformed input).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .aig.io_bench import read, to_text, write
+from .errors import ReproError
+from .opt import NAMED_SCRIPTS
+from .opt.session import OptSession
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run an ABC-style optimization flow on a BENCH netlist.",
+    )
+    parser.add_argument(
+        "script",
+        help="flow script ('b; rw; rf; ...') or a named script "
+        f"({', '.join(sorted(NAMED_SCRIPTS))})",
+    )
+    parser.add_argument("input", help="input circuit (BENCH format)")
+    parser.add_argument(
+        "-o",
+        "--output",
+        help="write the optimized BENCH here (default: stdout)",
+    )
+    parser.add_argument(
+        "-w",
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for parallel commands without an explicit -w "
+        "(default: one per core; 1 = bit-identical sequential mode)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the per-step report table",
+    )
+    return parser
+
+
+def _render_report(report) -> str:
+    from .harness.tables import format_table
+
+    rows = [
+        [step.command, f"{step.runtime:.3f}", step.n_ands, step.level]
+        for step in report.steps
+    ]
+    rows.append(["total", f"{report.total_runtime:.3f}", "", ""])
+    return format_table(
+        ["Step", "Runtime s", "And", "Level"],
+        rows,
+        title=f"flow: {report.script}",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    script = NAMED_SCRIPTS.get(args.script.strip().lower(), args.script)
+    try:
+        g = read(args.input)
+        with OptSession(engine_workers=args.workers) as session:
+            out, report = session.run(g, script)
+        if args.output:
+            write(out, args.output)
+        else:
+            sys.stdout.write(to_text(out))
+    except (ReproError, OSError) as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print(_render_report(report), file=sys.stderr)
+    if args.output:
+        print(f"repro: wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -317,7 +317,7 @@ def serve_throughput(
     layer's correctness contract at ``workers=1``.
     """
     from ..aig.io_bench import to_text
-    from ..opt.flow import run_flow
+    from ..opt.session import OptSession
     from ..serve import ServeParams, serve_suite
 
     params = ServeParams(
@@ -325,29 +325,30 @@ def serve_throughput(
     )
     report = serve_suite(suite, params, classifier=classifier)
     rows = []
-    for result in report.results:
-        identical = None
-        if check_identity and result.ok:
-            blocking, _ = run_flow(
-                suite[result.name].clone(),
-                flow,
-                classifier=classifier,
-                engine_workers=workers,
+    # One blocking session re-derives every circuit, with per-run caches
+    # mirroring the serving layer's: nothing warm can leak between
+    # circuits and mask (or cause) a mismatch.
+    with OptSession(
+        classifier=classifier, engine_workers=workers, per_run_cache=True
+    ) as audit:
+        for result in report.results:
+            identical = None
+            if check_identity and result.ok:
+                blocking, _ = audit.run(suite[result.name].clone(), flow)
+                identical = to_text(blocking) == result.bench_text
+            rows.append(
+                ServeThroughputRow(
+                    design=result.name,
+                    shard=result.shard,
+                    order=result.order,
+                    runtime=result.runtime,
+                    n_ands_before=result.n_ands_before,
+                    n_ands=result.n_ands,
+                    level=result.level,
+                    identical=identical,
+                    error=result.error,
+                )
             )
-            identical = to_text(blocking) == result.bench_text
-        rows.append(
-            ServeThroughputRow(
-                design=result.name,
-                shard=result.shard,
-                order=result.order,
-                runtime=result.runtime,
-                n_ands_before=result.n_ands_before,
-                n_ands=result.n_ands,
-                level=result.level,
-                identical=identical,
-                error=result.error,
-            )
-        )
     return rows, report
 
 

@@ -8,6 +8,14 @@ twice (SS II).  ELF steps (``elf``/``elfz``) slot into the same scripts
 when a classifier is supplied, and every operator with a wave engine
 has a parallel spelling (``pf``/``pelf``/``prw`` + zero-cost variants).
 
+The execution machinery lives elsewhere: commands are *registered*
+:class:`repro.opt.registry.CommandSpec` entries (not a switch), and the
+resources a script shares — resynthesis cache, NPN library, classifier,
+engine worker pool — are owned by a :class:`repro.opt.session.OptSession`.
+:func:`run_flow` is the one-shot convenience wrapper (one throwaway
+session per call); long-lived callers, the serving layer, and anyone
+registering new commands should hold a session directly.
+
 Steps record both the raw command as spelled in the script and its
 *normalized* form (aliases resolved: ``f`` -> ``rf``, ``fz`` -> ``rfz``);
 :meth:`FlowReport.runtime_of` / :meth:`FlowReport.fraction_of` match on
@@ -16,33 +24,28 @@ the normalized form, so alias spellings count toward their operator.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..aig.graph import AIG
-from ..errors import ReproError
-from .balance import balance
-from .refactor import RefactorParams, refactor
-from .resub import ResubParams, resub
-from .rewrite import RewriteParams, rewrite
+from .registry import CommandRegistry, default_registry
 
 RESYN2 = "b; rw; rf; b; rw; rwz; b; rfz; rwz; b"
 """The classic ABC resyn2 script."""
 
 COMPRESS2 = "b -l; rw -l; rf -l; b -l; rw -l; rwz -l; b -l; rfz -l; rwz -l; b -l"
 
-# Alternate spellings -> canonical command names (the ELF paper spells
-# refactor ``f``).  Normalization keeps any flags untouched.
-_ALIASES = {"f": "rf", "fz": "rfz"}
+NAMED_SCRIPTS = {"resyn2": RESYN2, "compress2": COMPRESS2}
+"""Scripts addressable by name (the CLI accepts these spellings)."""
 
 
-def canonical_command(command: str) -> str:
-    """``command`` with its operator alias resolved (flags preserved)."""
-    parts = command.split()
-    if not parts:
-        return command.strip()
-    parts[0] = _ALIASES.get(parts[0], parts[0])
-    return " ".join(parts)
+def canonical_command(command: str, registry: CommandRegistry | None = None) -> str:
+    """``command`` with its operator alias resolved (flags preserved).
+
+    Lenient: unknown commands come back unchanged — strictness lives in
+    :meth:`repro.opt.registry.CommandRegistry.resolve`.
+    """
+    registry = registry if registry is not None else default_registry()
+    return registry.canonical(command)
 
 
 @dataclass
@@ -51,7 +54,10 @@ class FlowStep:
 
     ``command`` keeps the raw spelling from the script; ``normalized``
     is the alias-resolved form the report's accounting matches on (it
-    defaults from ``command`` when not given).
+    defaults from ``command`` when not given).  ``executor_dropped``
+    records that a shared engine executor was discarded because this
+    step pinned a conflicting ``-w`` (the pin wins; see
+    :meth:`repro.opt.session.FlowContext.engine_resources`).
     """
 
     command: str
@@ -60,6 +66,7 @@ class FlowStep:
     level: int
     detail: object = None
     normalized: str = ""
+    executor_dropped: bool = False
 
     def __post_init__(self) -> None:
         if not self.normalized:
@@ -93,6 +100,7 @@ def run_flow(
     classifier=None,
     engine_workers: int | None = None,
     engine_executor=None,
+    registry: CommandRegistry | None = None,
 ) -> tuple[AIG, FlowReport]:
     """Execute a ``;``-separated command script; returns (network, report).
 
@@ -102,163 +110,35 @@ def run_flow(
     refactor; needs ``classifier``), ``pf``/``pfz`` (conflict-wave
     parallel refactor), ``pelf``/``pelfz`` (parallel ELF; needs
     ``classifier``) and ``prw``/``prwz`` (conflict-wave parallel
-    rewrite).  A ``-l`` suffix preserves levels where the operator
-    supports it; the parallel commands accept ``-w N`` to pin the worker
-    count (default: one per core).
+    rewrite) — plus anything else registered on ``registry`` (default:
+    the process-wide :func:`repro.opt.registry.default_registry`).
+    ``-l`` preserves levels where the operator supports it; the parallel
+    commands accept ``-w N`` to pin the worker count (0 = one per core).
+    Unknown commands *and unsupported flags* raise
+    :class:`repro.errors.ReproError`.
 
-    The server hooks: ``engine_workers`` is the worker count applied to
-    parallel commands that carry no explicit ``-w`` (so a serving layer
-    can pin determinism-critical runs to one worker without rewriting
-    scripts), and ``engine_executor`` is a shared
-    :class:`repro.engine.ResynthExecutor` reused by every parallel
-    refactor step instead of forking a pool per step (it overrides the
-    worker count and is left open; ``prw`` reads only its width —
-    rewrite evaluation never dispatches to the pool).
-
-    Every refactor- and rewrite-family step of one script shares a
-    single cross-pass :class:`repro.engine.ResynthCache`, so e.g. the
-    second ``elf`` of ``elf; elf`` starts with every factored form the
-    first derived, and every ``prw`` wave reuses the script's cached
-    NPN-library resolutions (the flow builds all refactor params with
-    the same factoring knobs, which is what makes the cache sound to
-    share).  Sequential steps take exact hits only — bit-identical to
-    running uncached — while the wave engine also reuses NPN-equivalent
-    4-leaf forms.
+    This is the one-shot convenience wrapper over
+    :class:`repro.opt.session.OptSession` — equivalent to running
+    ``script`` inside ``OptSession(classifier=classifier, ...)``, so all
+    session guarantees apply: every refactor- and rewrite-family step of
+    the script shares one cross-pass
+    :class:`repro.engine.ResynthCache` (created lazily on first demand;
+    e.g. the second ``elf`` of ``elf; elf`` starts with every factored
+    form the first derived), ``engine_workers`` is the worker count for
+    parallel commands with no explicit ``-w``, and ``engine_executor``
+    attaches a shared :class:`repro.engine.ResynthExecutor` (its width
+    governs unpinned parallel refactor steps; a conflicting explicit
+    ``-w`` drops it for that step — recorded on the step — and ``prw``
+    reads only its width).  Callers running many scripts, or many
+    circuits, should hold an :class:`~repro.opt.session.OptSession`
+    directly and reuse its warm resources.
     """
-    from ..engine import ResynthCache
+    from .session import OptSession
 
-    report = FlowReport(script=script)
-    resynth_cache = ResynthCache()
-    for raw in script.split(";"):
-        command = raw.strip()
-        if not command:
-            continue
-        t0 = time.perf_counter()
-        g, detail = _execute(
-            g, command, classifier, engine_workers, engine_executor, resynth_cache
-        )
-        report.steps.append(
-            FlowStep(
-                command=command,
-                runtime=time.perf_counter() - t0,
-                n_ands=g.n_ands,
-                level=g.max_level(),
-                detail=detail,
-                normalized=canonical_command(command),
-            )
-        )
-    return g, report
-
-
-def _execute(
-    g: AIG,
-    command: str,
-    classifier,
-    engine_workers=None,
-    engine_executor=None,
-    resynth_cache=None,
-):
-    parts = canonical_command(command).split()
-    op = parts[0]
-    preserve = "-l" in parts[1:]
-    if op == "b":
-        return balance(g), None
-    if op in ("rw", "rwz"):
-        stats = rewrite(
-            g, RewriteParams(zero_cost=op.endswith("z"), preserve_levels=preserve)
-        )
-        return g, stats
-    if op in ("rf", "rfz"):
-        stats = refactor(
-            g,
-            RefactorParams(zero_cost=op.endswith("z"), preserve_levels=preserve),
-            cache=resynth_cache,
-        )
-        return g, stats
-    if op in ("rs", "rsz"):
-        return g, resub(g, ResubParams(zero_cost=op.endswith("z")))
-    if op in ("elf", "elfz"):
-        if classifier is None:
-            raise ReproError(f"flow step {op!r} requires a classifier")
-        from ..elf.operator import ElfParams, elf_refactor
-
-        stats = elf_refactor(
-            g,
-            classifier,
-            ElfParams(
-                refactor=RefactorParams(
-                    zero_cost=op.endswith("z"), preserve_levels=preserve
-                )
-            ),
-            cache=resynth_cache,
-        )
-        return g, stats
-    if op in ("pf", "pfz", "pelf", "pelfz"):
-        if op.startswith("pelf") and classifier is None:
-            raise ReproError(f"flow step {op!r} requires a classifier")
-        from ..engine import EngineParams, engine_refactor
-
-        workers, executor = _resolve_engine_workers(
-            parts[1:], engine_workers, engine_executor
-        )
-        stats = engine_refactor(
-            g,
-            EngineParams(
-                refactor=RefactorParams(
-                    zero_cost=op.endswith("z"), preserve_levels=preserve
-                ),
-                workers=workers,
-                executor=executor,
-                resynth_cache=resynth_cache,
-            ),
-            classifier=classifier if op.startswith("pelf") else None,
-        )
-        return g, stats
-    if op in ("prw", "prwz"):
-        from ..engine import RewriteEngineParams, engine_rewrite
-
-        workers, executor = _resolve_engine_workers(
-            parts[1:], engine_workers, engine_executor
-        )
-        stats = engine_rewrite(
-            g,
-            RewriteEngineParams(
-                rewrite=RewriteParams(
-                    zero_cost=op.endswith("z"), preserve_levels=preserve
-                ),
-                workers=workers,
-                executor=executor,
-                resynth_cache=resynth_cache,
-            ),
-        )
-        return g, stats
-    raise ReproError(f"unknown flow command {command!r}")
-
-
-def _resolve_engine_workers(args: list[str], engine_workers, engine_executor):
-    """Worker count + executor for one parallel step.
-
-    A script's explicit ``-w N`` always wins: a shared executor of a
-    different width is dropped rather than silently overriding the
-    pinned count (``pf -w 1`` / ``prw -w 1`` must stay the bit-identical
-    mode).  Without ``-w``, the server-level ``engine_workers`` applies,
-    and a shared executor's width governs as usual.
-    """
-    workers = _parse_workers(args)
-    explicit = workers > 0
-    if not explicit and engine_workers is not None:
-        workers = engine_workers
-    executor = engine_executor
-    if explicit and executor is not None and executor.workers != workers:
-        executor = None
-    return workers, executor
-
-
-def _parse_workers(args: list[str]) -> int:
-    """Extract the ``-w N`` worker count; 0 means auto (cpu count)."""
-    for i, arg in enumerate(args):
-        if arg == "-w":
-            if i + 1 >= len(args) or not args[i + 1].isdigit():
-                raise ReproError("-w requires an integer worker count")
-            return int(args[i + 1])
-    return 0
+    with OptSession(
+        classifier=classifier,
+        engine_workers=engine_workers,
+        engine_executor=engine_executor,
+        registry=registry,
+    ) as session:
+        return session.run(g, script)

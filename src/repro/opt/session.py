@@ -1,0 +1,361 @@
+"""Flow sessions: explicit lifecycle for the resources a script shares.
+
+``run_flow`` used to thread ``classifier`` / ``engine_workers`` /
+``engine_executor`` / a resynthesis cache through an if/elif chain as
+ad-hoc kwargs.  :class:`OptSession` replaces that plumbing with one
+owner: a context manager that holds the per-flow resources — the
+cross-pass :class:`repro.engine.ResynthCache`, the NPN library, an
+optional classifier handle, and (when parallel commands ask for one) a
+:class:`repro.engine.ResynthExecutor` worker pool — and executes
+scripts against a declarative :class:`repro.opt.registry.CommandRegistry`.
+Resources are created **lazily on first demand** (``b; b`` allocates
+nothing) and owned resources are closed on exit; externally provided
+ones (a serving layer's shard pool, a shared classifier service client)
+are used but never closed.
+
+One session may run many scripts — and, as the serving layer does, many
+circuits concurrently: per-run state lives in a thread-private
+:class:`FlowContext`, while the shared cache/library/pool are safe to
+share because their entries are pure (exact cache hits are bit-identical
+to recomputation).  :class:`SessionStats` records what the session
+provisioned and what it had to drop — most notably shared executors
+discarded because a script pinned a conflicting ``-w`` (previously a
+silent no-trace event).
+
+``repro.opt.run_flow`` is a thin wrapper: one throwaway session per
+call, byte-identical to the historical behavior.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..aig.graph import AIG
+from ..errors import ReproError
+from .flow import FlowReport, FlowStep
+from .refactor import RefactorParams
+from .registry import CommandFlags, CommandRegistry, ResolvedCommand, default_registry
+
+
+@dataclass
+class DroppedExecutor:
+    """One shared-executor discard (script pin vs pool width conflict)."""
+
+    command: str
+    pinned_workers: int
+    executor_workers: int
+    external: bool  # True when the dropped pool was caller-provided
+
+
+@dataclass
+class SessionStats:
+    """What a session provisioned, reused and dropped across its runs."""
+
+    runs: int = 0
+    commands: int = 0
+    cache_created: bool = False
+    library_created: bool = False
+    executor_created: bool = False
+    dropped_executors: list[DroppedExecutor] = field(default_factory=list)
+
+    @property
+    def executors_dropped(self) -> int:
+        return len(self.dropped_executors)
+
+
+class FlowContext:
+    """Per-run view of a session (the ``ctx`` of ``CommandSpec.execute``).
+
+    Thread-private: it carries the run's active classifier (a serving
+    layer runs one session per shard but a *different* fused classifier
+    client per circuit) and the current command string for diagnostics,
+    while delegating every shared resource to the owning session.
+    """
+
+    def __init__(self, session: "OptSession", classifier) -> None:
+        self.session = session
+        self.classifier = classifier
+        self.command = ""  # raw spelling of the step being executed
+        self.executor_dropped = False  # set when a shared pool is discarded
+        self._run_cache = None  # lazily created under per_run_cache
+
+    @property
+    def resynth_cache(self):
+        if self.session.per_run_cache:
+            if self._run_cache is None:
+                from ..engine import ResynthCache
+
+                self._run_cache = ResynthCache()
+                with self.session._lock:  # stats are shared; cache is not
+                    self.session.stats.cache_created = True
+            return self._run_cache
+        return self.session.resynth_cache
+
+    @property
+    def npn_library(self):
+        return self.session.npn_library
+
+    def engine_resources(self, flags: CommandFlags, pooled: bool):
+        """Resolve ``(workers, executor)`` for one parallel command.
+
+        Precedence (unchanged from the pre-session flow layer): an
+        explicit ``-w N`` always wins — a shared executor of a different
+        width is **dropped** rather than silently overriding the pinned
+        count, and the drop is now recorded on the session stats and on
+        the step.  Without ``-w``, the session-level ``engine_workers``
+        default applies, and an attached executor's width governs as
+        usual.  ``pooled`` commands (the refactor engine family) may
+        lazily materialize the session's own pool; width-only consumers
+        (wave rewrite) never cause one to exist.
+        """
+        session = self.session
+        workers = flags.workers if flags.workers is not None else 0
+        explicit = workers > 0
+        if not explicit and session.engine_workers is not None:
+            workers = session.engine_workers
+        executor = session._external_executor
+        external = executor is not None
+        if not external:
+            # The session's own pool serves pooled commands and — like
+            # an attached external pool always did — acts as a width
+            # source for width-only consumers (wave rewrite), but only
+            # pooled unpinned steps may *materialize* it (at the
+            # session's default width).
+            executor = session._own_executor
+            if executor is None and pooled and not explicit:
+                executor = session._materialize_executor()
+        if explicit and executor is not None and executor.workers != workers:
+            self._record_drop(workers, executor.workers, external=external)
+            executor = None
+        return workers, executor
+
+    def _record_drop(self, pinned: int, pool_width: int, external: bool) -> None:
+        """Log one bypassed pool: the pin wins, but never silently.
+
+        Historically a width-mismatched shared executor was discarded
+        with no trace; now the discard lands on the session stats and on
+        the step (``FlowStep.executor_dropped``), whether the bypassed
+        pool was caller-attached (``external``) or session-owned.
+        """
+        with self.session._lock:
+            self.session.stats.dropped_executors.append(
+                DroppedExecutor(
+                    command=self.command,
+                    pinned_workers=pinned,
+                    executor_workers=pool_width,
+                    external=external,
+                )
+            )
+        self.executor_dropped = True
+
+
+class OptSession:
+    """Owns one flow's shared resources; runs scripts via the registry.
+
+    Parameters: ``classifier`` is the default classifier handle for
+    commands that declare ``needs_classifier`` (a per-``run`` override
+    exists for serving).  ``engine_workers`` is the worker count applied
+    to parallel commands with no explicit ``-w``.  ``engine_executor``
+    attaches an externally owned pool (used, never closed); without one
+    the session materializes its own on first pooled command — sized by
+    ``engine_workers`` (falling back to the core count) — and closes it
+    on exit.  ``library`` pins the NPN library (default: the process-wide
+    shared instance, created lazily on first rewrite-family command).
+    ``registry`` selects the command set (default: the process registry).
+
+    ``per_run_cache=True`` gives each :meth:`run` a private resynthesis
+    cache instead of the session-wide one.  Steps of one script still
+    share it (the ``elf; elf`` warm start), but nothing leaks between
+    runs: the serving layer uses this so a served circuit's *content*
+    never depends on what the shard's other circuits seeded — the wave
+    engine's NPN layer can factor a class representative differently
+    than the concrete table would have been, so at ``workers >= 2`` a
+    cross-run shared cache would make results timing-dependent.  (Exact
+    entries — all a sequential or ``workers=1`` step ever takes — are
+    bit-identical to recomputation, so sharing is safe there; the
+    default stays session-wide.)
+
+    Explicit lifecycle: use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        classifier=None,
+        engine_workers: int | None = None,
+        engine_executor=None,
+        library=None,
+        registry: CommandRegistry | None = None,
+        per_run_cache: bool = False,
+    ) -> None:
+        self.classifier = classifier
+        self.engine_workers = engine_workers
+        self.per_run_cache = per_run_cache
+        self.registry = registry if registry is not None else default_registry()
+        self.stats = SessionStats()
+        self._external_executor = engine_executor
+        self._own_executor = None
+        self._cache = None
+        self._library = library
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- shared resources, created lazily on first demand --------------------
+
+    @property
+    def resynth_cache(self):
+        """The session's cross-pass resynthesis cache (created on demand)."""
+        if self._cache is None:
+            from ..engine import ResynthCache
+
+            with self._lock:
+                if self._cache is None:
+                    self._cache = ResynthCache()
+                    self.stats.cache_created = True
+        return self._cache
+
+    @property
+    def cache_materialized(self) -> bool:
+        """Whether any command has demanded the resynthesis cache yet."""
+        return self._cache is not None
+
+    @property
+    def npn_library(self):
+        """The session's NPN library handle (created on demand)."""
+        if self._library is None:
+            from .npn_library import default_library
+
+            with self._lock:
+                if self._library is None:
+                    self._library = default_library()
+                    self.stats.library_created = True
+        return self._library
+
+    @property
+    def executor_is_external(self) -> bool:
+        return self._external_executor is not None
+
+    @property
+    def engine_executor(self):
+        """The worker pool this session's pooled commands would share
+        (external if attached, else the session-owned one) — ``None``
+        until a pooled command or :meth:`warm_engine` materializes it."""
+        if self._external_executor is not None:
+            return self._external_executor
+        return self._own_executor
+
+    def _materialize_executor(self, width: int | None = None):
+        """Create (or return) the session-owned pool.
+
+        Default width is ``engine_workers`` (else one per core); widths
+        of one return ``None`` — a width-1 pool would only shadow the
+        engine's bit-identical sequential delegation.
+        """
+        if width is None:
+            width = self.engine_workers
+        if width is None or width <= 0:
+            width = os.cpu_count() or 1
+        if width <= 1:
+            return None
+        if self._own_executor is None:
+            from ..engine import ResynthExecutor
+
+            with self._lock:
+                if self._own_executor is None:
+                    self._own_executor = ResynthExecutor(width, RefactorParams())
+                    self.stats.executor_created = True
+        return self._own_executor
+
+    def warm_engine(self, width: int) -> bool:
+        """Pre-fork the session's pool at ``width``; True when one is live.
+
+        Serving layers call this from a still-single-threaded moment:
+        forking a process pool while sibling threads run is
+        undefined-behaviour territory on POSIX, so the fork is
+        front-loaded.  With an external executor attached this is a
+        no-op (the caller owns that pool's lifecycle).  A session pool
+        that already exists at a *different* width is closed and
+        replaced at ``width`` — the whole point is that later steps find
+        a matching pool — which is another reason this belongs in a
+        single-threaded moment.
+        """
+        if self._external_executor is not None:
+            return True
+        if width <= 1:
+            return False
+        with self._lock:
+            if (
+                self._own_executor is not None
+                and self._own_executor.workers != width
+            ):
+                self._own_executor.close()
+                self._own_executor = None
+        executor = self._materialize_executor(width)
+        return executor is not None and executor.warm()
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, g: AIG, script: str, classifier=None) -> tuple[AIG, FlowReport]:
+        """Execute a ``;``-separated script on ``g``; returns (g, report).
+
+        Empty commands (``;;``, stray whitespace) are skipped.  Each
+        step resolves through the registry — unknown commands and
+        unsupported flags raise :class:`repro.errors.ReproError`, naming
+        the raw spelling — then executes with this session's resources.
+        ``classifier`` overrides the session default for this run only
+        (the serving layer runs per-circuit fused clients through one
+        shard session this way).
+        """
+        if self._closed:
+            raise ReproError("OptSession is closed")
+        ctx = FlowContext(self, classifier if classifier is not None else self.classifier)
+        report = FlowReport(script=script)
+        with self._lock:  # shard sessions run circuits concurrently
+            self.stats.runs += 1
+        for raw in script.split(";"):
+            command = raw.strip()
+            if not command:
+                continue
+            resolved = self.registry.resolve(command)
+            self._check_resources(resolved, ctx)
+            ctx.command = command
+            ctx.executor_dropped = False
+            with self._lock:
+                self.stats.commands += 1
+            t0 = time.perf_counter()
+            g, detail = resolved.spec.execute(g, ctx, resolved.flags)
+            report.steps.append(
+                FlowStep(
+                    command=command,
+                    runtime=time.perf_counter() - t0,
+                    n_ands=g.n_ands,
+                    level=g.max_level(),
+                    detail=detail,
+                    normalized=resolved.canonical,
+                    executor_dropped=ctx.executor_dropped,
+                )
+            )
+        return g, report
+
+    def _check_resources(self, resolved: ResolvedCommand, ctx: FlowContext) -> None:
+        if resolved.spec.needs_classifier and ctx.classifier is None:
+            raise ReproError(
+                f"flow step {resolved.head!r} requires a classifier"
+            )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release owned resources (idempotent); external ones are kept."""
+        self._closed = True
+        executor, self._own_executor = self._own_executor, None
+        if executor is not None:
+            executor.close()
+
+    def __enter__(self) -> "OptSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -34,6 +34,7 @@ from .pool import (
     max_explicit_workers,
     needs_classifier,
     needs_engine_pool,
+    script_requirements,
 )
 from .shard import ShardPlan, assign_shards
 from .stream import ServeParams, ServeReport, ServeResult, serve_stream, serve_suite
@@ -50,6 +51,7 @@ __all__ = [
     "max_explicit_workers",
     "needs_classifier",
     "needs_engine_pool",
+    "script_requirements",
     "serve_stream",
     "serve_suite",
 ]

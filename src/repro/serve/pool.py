@@ -17,11 +17,20 @@ and two expensive resources are shared instead of replicated:
   the stacked shape) and the resulting keep masks are bitwise-identical
   in every test — fusion changes dispatch count, not decisions.
 
-* **Engine pool** — parallel flow commands (``pf*``/``pelf*``) normally
-  fork a fresh :class:`repro.engine.ResynthExecutor` per pass; the
-  serving layer builds one per shard and threads it through
-  ``run_flow(engine_executor=...)`` so every circuit of the shard reuses
-  the same worker processes.
+* **Engine pool** — each shard runs its circuits through one
+  :class:`repro.opt.OptSession`, whose owned
+  :class:`repro.engine.ResynthExecutor` is pre-forked
+  (:meth:`~repro.opt.OptSession.warm_engine`) before circuit threads
+  start, so every circuit of the shard reuses the same worker processes
+  (and the session's NPN library).  Resynthesis caches stay per circuit
+  (``per_run_cache=True``): the wave engine's NPN cache layer is
+  content-affecting, so sharing one across concurrently served circuits
+  would make results depend on thread timing.
+
+The script's resource needs (classifier, engine pool, worker pins) are
+read off the command registry's declared requirements, so a command
+registered via :mod:`repro.opt.registry` is provisioned for without
+touching this module.
 
 The barrier protocol makes fusion rounds deterministic: round ``r``
 always contains the ``r``-th request of every circuit that issues at
@@ -182,43 +191,43 @@ class FusedClassifierClient:
         self.finish()
 
 
-def needs_classifier(script: str) -> bool:
+def script_requirements(script: str, registry=None):
+    """``script``'s aggregate resource needs, read off the registry.
+
+    Returns a :class:`repro.opt.registry.ScriptNeeds` built from the
+    declared ``CommandSpec`` requirements, so commands registered after
+    the fact are provisioned for without touching the serving layer.
+    Unresolvable commands contribute nothing (their error surfaces when
+    the flow actually runs, isolated to the circuit that ran it).
+    """
+    from ..opt.registry import default_registry
+
+    registry = registry if registry is not None else default_registry()
+    return registry.script_requirements(script)
+
+
+def needs_classifier(script: str, registry=None) -> bool:
     """Does any command of ``script`` consult the ELF classifier?"""
-    return any(
-        part.strip().split()[0] in ("elf", "elfz", "pelf", "pelfz")
-        for part in script.split(";")
-        if part.strip()
-    )
+    return script_requirements(script, registry).classifier
 
 
-def needs_engine_pool(script: str) -> bool:
+def needs_engine_pool(script: str, registry=None) -> bool:
     """Does any command of ``script`` dispatch to the engine worker pool?
 
-    Deliberately excludes ``prw``/``prwz``: the wave-rewrite engine
+    Registry-declared (``CommandSpec.needs_engine_pool``).  The built-in
+    set deliberately excludes ``prw``/``prwz``: the wave-rewrite engine
     evaluates through memoized NPN-library lookups and never ships work
     to a process pool, so rewrite-only flows serve without one.
     """
-    return any(
-        part.strip().split()[0] in ("pf", "pfz", "pelf", "pelfz")
-        for part in script.split(";")
-        if part.strip()
-    )
+    return script_requirements(script, registry).engine_pool
 
 
-def max_explicit_workers(script: str) -> int:
-    """Largest explicit ``-w N`` on any parallel command (0 when none).
+def max_explicit_workers(script: str, registry=None) -> int:
+    """Largest explicit ``-w N`` on any pool-using command (0 when none).
 
     The serving layer sizes each shard's pool to cover the script's own
     worker pins, so even a ``pf -w 4`` step under ``ServeParams(workers=1)``
     finds a pre-forked pool instead of forking one inside a circuit
-    thread (see :meth:`repro.engine.ResynthExecutor.warm`).
+    thread (see :meth:`repro.opt.OptSession.warm_engine`).
     """
-    best = 0
-    for part in script.split(";"):
-        tokens = part.strip().split()
-        if not tokens or tokens[0] not in ("pf", "pfz", "pelf", "pelfz"):
-            continue
-        for i, token in enumerate(tokens):
-            if token == "-w" and i + 1 < len(tokens) and tokens[i + 1].isdigit():
-                best = max(best, int(tokens[i + 1]))
-    return best
+    return script_requirements(script, registry).max_explicit_workers

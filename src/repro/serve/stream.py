@@ -36,14 +36,9 @@ from typing import Iterator
 
 from ..aig.graph import AIG
 from ..aig.io_bench import to_text
-from ..opt.flow import FlowReport, run_flow
-from .pool import (
-    FusionStats,
-    SharedClassifierService,
-    max_explicit_workers,
-    needs_classifier,
-    needs_engine_pool,
-)
+from ..opt.flow import FlowReport
+from ..opt.session import OptSession
+from .pool import FusionStats, SharedClassifierService, script_requirements
 from .shard import ShardPlan, assign_shards
 
 
@@ -133,38 +128,39 @@ def serve_stream(
     params = params or ServeParams()
     if plan is None:
         plan = assign_shards(suite, params.n_shards, cost)
-    fuse = (
-        classifier is not None
-        and params.fuse_classifier
-        and needs_classifier(params.flow)
-    )
+    needs = script_requirements(params.flow)
+    fuse = classifier is not None and params.fuse_classifier and needs.classifier
     # The shard pool must cover the script's own -w pins as well as the
     # serve-level default, so no engine pass ever forks a pool from
     # inside a circuit thread (scripts mixing *different* explicit -w
     # widths still fall back to private per-pass pools; prefer one
     # engine width per served flow).
     pool_workers = params.workers if params.workers > 0 else (os.cpu_count() or 1)
-    pool_workers = max(pool_workers, max_explicit_workers(params.flow))
+    pool_workers = max(pool_workers, needs.max_explicit_workers)
     results: queue.Queue[ServeResult] = queue.Queue()
     threads: list[threading.Thread] = []
-    executors = []
+    sessions: list[OptSession] = []
     for shard_index, names in enumerate(plan.shards):
         service = None
         if fuse and len(names) > 0:
             service = SharedClassifierService(classifier, list(names))
             if fusion_out is not None:
                 fusion_out[shard_index] = service.stats
-        executor = None
-        if needs_engine_pool(params.flow) and pool_workers > 1:
-            from ..engine.parallel import ResynthExecutor
-            from ..opt.refactor import RefactorParams
-
-            # One pool per shard, forked now while the process is still
-            # single-threaded; resynthesis is invariant to the per-command
-            # zero-cost / level flags, so defaults serve every step.
-            executor = ResynthExecutor(pool_workers, RefactorParams())
-            executor.warm()
-            executors.append(executor)
+        # One session per shard: every circuit of the shard shares its
+        # NPN library and (when the flow pools) its worker processes.
+        # Caches are per run (= per circuit): the wave engine's NPN
+        # cache layer is content-affecting, so cross-circuit sharing
+        # would make served results depend on thread timing — the
+        # content-determinism guarantee above forbids that.  The pool
+        # is forked now, while the process is still single-threaded.
+        session = OptSession(
+            classifier=classifier,
+            engine_workers=params.workers if params.workers > 0 else None,
+            per_run_cache=True,
+        )
+        if needs.engine_pool and pool_workers > 1:
+            session.warm_engine(pool_workers)
+        sessions.append(session)
         for name in names:
             threads.append(
                 threading.Thread(
@@ -175,26 +171,30 @@ def serve_stream(
                         suite[name],
                         shard_index,
                         params,
-                        classifier,
+                        session,
                         service,
-                        executor,
                         results,
                     ),
                     daemon=True,
                 )
             )
+    started: list[threading.Thread] = []
     try:
         for thread in threads:
             thread.start()
-        for order in range(len(threads)):
+            started.append(thread)
+        for order in range(len(started)):
             result = results.get()
             result.order = order
             yield result
     finally:
-        for thread in threads:
+        # Join only what actually started (joining an unstarted thread
+        # raises, which would mask the original error and skip closing
+        # the sessions — leaking their pre-forked worker pools).
+        for thread in started:
             thread.join()
-        for executor in executors:
-            executor.close()
+        for session in sessions:
+            session.close()
 
 
 def serve_suite(
@@ -224,12 +224,16 @@ def _serve_one(
     g: AIG,
     shard: int,
     params: ServeParams,
-    classifier,
+    session: OptSession,
     service: SharedClassifierService | None,
-    executor,
     results: "queue.Queue[ServeResult]",
 ) -> None:
-    """Thread body: run the flow on a clone, push one result, always."""
+    """Thread body: run the flow on a clone, push one result, always.
+
+    ``session`` is the *shard's* shared session (cache, library, pool);
+    the per-circuit fused classifier client — when the shard fuses —
+    rides in as this run's classifier override.
+    """
     result = ServeResult(
         name=name,
         shard=shard,
@@ -239,14 +243,7 @@ def _serve_one(
     client = service.client(name) if service is not None else None
     t0 = time.perf_counter()
     try:
-        step_classifier = client if client is not None else classifier
-        out, report = run_flow(
-            g.clone(),
-            params.flow,
-            classifier=step_classifier,
-            engine_workers=params.workers if params.workers > 0 else None,
-            engine_executor=executor,
-        )
+        out, report = session.run(g.clone(), params.flow, classifier=client)
         result.report = report
         result.n_ands = out.n_ands
         result.level = out.max_level()

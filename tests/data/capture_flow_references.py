@@ -1,0 +1,78 @@
+"""Regenerate ``flow_references.json`` (the flow byte-identity anchors).
+
+Run from the repo root::
+
+    PYTHONPATH=src:tests python tests/data/capture_flow_references.py
+
+The captured file pins ``run_flow`` outputs — BENCH text hash plus every
+step's (command, normalized, n_ands, level) — for the reference flows, so
+refactors of the flow/session layer can prove they changed nothing.
+Regenerate only when an *intentional* behavior change lands, and say so
+in the commit message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.aig.io_bench import to_text
+from repro.circuits import layered_random_aig
+from repro.elf import collect_dataset, train_leave_one_out
+from repro.ml import TrainConfig
+from repro.opt import COMPRESS2, RESYN2, run_flow
+
+from tests.util import random_aig
+
+
+def reference_graph():
+    return layered_random_aig(n_pis=12, n_ands=700, seed=7, name="flowref")
+
+
+def reference_classifier():
+    graphs = [random_aig(7, 120, 4, seed=s, name=f"f{s}") for s in (1, 2)]
+    datasets = {g.name: collect_dataset(g) for g in graphs}
+    return train_leave_one_out(datasets, "f1", TrainConfig(epochs=3, seed=0))
+
+
+FLOWS = {
+    "resyn2": (RESYN2, False),
+    "compress2": (COMPRESS2, False),
+    "engine": ("pf -w 1; prw -w 1; pelf -w 1", True),
+}
+
+
+def capture() -> dict:
+    classifier = reference_classifier()
+    records = {}
+    for tag, (script, needs_classifier) in FLOWS.items():
+        g = reference_graph()
+        out, report = run_flow(
+            g, script, classifier=classifier if needs_classifier else None
+        )
+        records[tag] = {
+            "script": script,
+            "bench_sha256": hashlib.sha256(to_text(out).encode()).hexdigest(),
+            "steps": [
+                {
+                    "command": s.command,
+                    "normalized": s.normalized,
+                    "n_ands": s.n_ands,
+                    "level": s.level,
+                }
+                for s in report.steps
+            ],
+        }
+    return {
+        "input_sha256": hashlib.sha256(
+            to_text(reference_graph()).encode()
+        ).hexdigest(),
+        "flows": records,
+    }
+
+
+if __name__ == "__main__":
+    path = Path(__file__).with_name("flow_references.json")
+    path.write_text(json.dumps(capture(), indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {path}")

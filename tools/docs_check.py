@@ -3,11 +3,13 @@
 Two checks, both cheap enough to run inside the default test target:
 
 1. **Module docstrings.**  Every ``.py`` file under ``src/repro/engine``
-   and ``src/repro/serve`` — plus the individually listed hot-path
-   modules (``src/repro/aig/simulate.py``, ``src/repro/opt/rewrite.py``)
-   — must carry a non-trivial module docstring, so ``pydoc
-   repro.engine`` / ``pydoc repro.serve`` always render a usable API
-   reference.  Checked by AST parse — no imports, no side effects.
+   and ``src/repro/serve`` — plus the individually listed hot-path and
+   API-surface modules (simulation kernels, the rewrite operator, and
+   the flow layer: ``opt/flow.py``, ``opt/registry.py``,
+   ``opt/session.py``, the ``python -m repro`` entry point) — must
+   carry a non-trivial module docstring, so ``pydoc repro.engine`` /
+   ``pydoc repro.opt.session`` always render a usable API reference.
+   Checked by AST parse — no imports, no side effects.
 2. **README examples.**  Every fenced ```` ```python ```` block in
    ``README.md`` is executed (in one shared namespace, top to bottom, so
    later examples may build on earlier ones).  A README that drifts from
@@ -27,7 +29,11 @@ REPO = Path(__file__).resolve().parent.parent
 DOCSTRING_TREES = ("src/repro/engine", "src/repro/serve")
 DOCSTRING_FILES = (
     "src/repro/aig/simulate.py",
+    "src/repro/opt/flow.py",
+    "src/repro/opt/registry.py",
     "src/repro/opt/rewrite.py",
+    "src/repro/opt/session.py",
+    "src/repro/__main__.py",
 )
 MIN_DOCSTRING_CHARS = 40  # a sentence, not a placeholder
 
