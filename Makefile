@@ -3,20 +3,31 @@
 
 PYTHON ?= python
 
-.PHONY: test test-fast docs-check bench bench-rw bench-serve bench-all profile clean
+.PHONY: test test-fast docs-check lint-timing trace-demo bench bench-rw bench-serve bench-all profile clean
 
-test: docs-check
+test: docs-check lint-timing
 	$(PYTHON) -m pytest -x -q
 
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
 
-# Documentation gate: module docstrings in repro.engine / repro.serve
-# and the individually listed hot-path modules (simulation kernels, the
-# rewrite operator), plus executable README examples
+# Documentation gate: module docstrings in repro.engine / repro.serve /
+# repro.obs and the individually listed hot-path modules (simulation
+# kernels, the rewrite operator), plus executable README examples
 # (tools/docs_check.py).
 docs-check:
 	$(PYTHON) tools/docs_check.py
+
+# Timing discipline: no wall-clock (time.time) timing in instrumented
+# code under src/repro/{engine,opt,serve} — durations must come from
+# the obs span API or the monotonic clocks it is built on.
+lint-timing:
+	$(PYTHON) tools/lint_timing.py
+
+# Observability demo: runs a parallel flow with tracing on and writes
+# Chrome-trace / JSONL / Prometheus exports under benchmarks/results/.
+trace-demo:
+	$(PYTHON) tools/trace_demo.py
 
 # Engine scaling benchmark (no classifier training needed; writes
 # benchmarks/results/engine_scaling.json, a rendered table, and the

@@ -24,6 +24,7 @@ import json
 import os
 from pathlib import Path
 
+from repro import obs
 from repro.circuits import epfl_suite, layered_random_aig, random_aig
 from repro.elf import collect_dataset, train_leave_one_out
 from repro.harness import format_table, serve_throughput, write_report
@@ -58,6 +59,7 @@ def build_classifier():
 def run_serve(flow=FLOW, n_shards=N_SHARDS, workers=WORKERS) -> dict:
     suite = build_suite()
     classifier = build_classifier()
+    obs.reset()  # per-run registry numbers: serving metrics start at zero
     rows, report = serve_throughput(
         suite,
         flow=flow,
@@ -102,6 +104,19 @@ def run_serve(flow=FLOW, n_shards=N_SHARDS, workers=WORKERS) -> dict:
             }
             for shard, stats in sorted(report.fusion.items())
         ],
+        # Straight off the obs registry (per-circuit latency + outcome
+        # counters recorded by the serve tier itself): the audit numbers
+        # above must agree with these or the instrumentation is lying.
+        "registry": {
+            "circuits_ok": obs.metrics().total("serve_circuits_total"),
+            "fusion_rounds": obs.metrics().total("serve_fusion_rounds_total"),
+            "fusion_subbatches": obs.metrics().total("serve_fusion_subbatches_total"),
+            "latency_sum_s": sum(
+                h.sum
+                for h in obs.metrics().histograms()
+                if h.name == "serve_circuit_seconds"
+            ),
+        },
     }
     results_dir = Path(__file__).resolve().parent / "results"
     results_dir.mkdir(parents=True, exist_ok=True)

@@ -6,6 +6,7 @@ Python — a thin wrapper over :class:`repro.opt.OptSession`::
     python -m repro "resyn2" input.bench -o out.bench
     python -m repro "b; rw; rf" input.bench          # BENCH to stdout
     python -m repro "pf -w 4; b" input.bench -o out.bench -w 2
+    python -m repro "pf -w 2; b" input.bench --trace trace.json
 
 ``SCRIPT`` is either a literal ``;``-separated command script or a named
 script (``resyn2``, ``compress2`` — case-insensitive).  ``-w N`` is the
@@ -16,6 +17,12 @@ report table goes to stderr unless ``-q`` silences it.  Commands that
 need a classifier (``elf``/``pelf``) are not servable from the CLI —
 train and deploy those through the Python API.
 
+``--trace FILE`` enables :mod:`repro.obs` span recording for the run and
+writes the trace on exit — Chrome trace-event JSON (open in
+``chrome://tracing`` / Perfetto) or JSONL when ``FILE`` ends in
+``.jsonl``.  ``--metrics FILE`` writes the metrics registry (flow
+command timings, wave/worker counters) in Prometheus text format.
+
 Exit status: 0 on success, 2 for usage/flow errors (unknown command,
 unsupported flag, malformed input).
 """
@@ -25,6 +32,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import obs
 from .aig.io_bench import read, to_text, write
 from .errors import ReproError
 from .opt import NAMED_SCRIPTS
@@ -62,6 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the per-step report table",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record spans and write a trace file (Chrome trace JSON, "
+        "or JSONL when FILE ends in .jsonl)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the metrics registry in Prometheus text format",
+    )
     return parser
 
 
@@ -83,6 +102,8 @@ def _render_report(report) -> str:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     script = NAMED_SCRIPTS.get(args.script.strip().lower(), args.script)
+    if args.trace:
+        obs.configure(enabled=True)
     try:
         g = read(args.input)
         with OptSession(engine_workers=args.workers) as session:
@@ -91,11 +112,19 @@ def main(argv: list[str] | None = None) -> int:
             write(out, args.output)
         else:
             sys.stdout.write(to_text(out))
+        if args.trace:
+            obs.export_trace(args.trace)
+        if args.metrics:
+            obs.export_metrics(args.metrics)
     except (ReproError, OSError) as error:
         print(f"repro: {error}", file=sys.stderr)
         return 2
     if not args.quiet:
         print(_render_report(report), file=sys.stderr)
+    if args.trace:
+        print(f"repro: trace written to {args.trace}", file=sys.stderr)
+    if args.metrics:
+        print(f"repro: metrics written to {args.metrics}", file=sys.stderr)
     if args.output:
         print(f"repro: wrote {args.output}", file=sys.stderr)
     return 0

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..aig.graph import AIG
 from ..aig.levels import RequiredLevels
 from ..cuts.features import stack_features
@@ -61,57 +62,60 @@ def elf_refactor(
     params = params or ElfParams()
     stats = RefactorStats()
     g.drain_dirty()  # sequential pass: retire the previous journal epoch
-    start = time.perf_counter()
-    required = RequiredLevels(g) if params.refactor.preserve_levels else None
+    with obs.span("elf.refactor", batched=params.batched) as pass_span:
+        required = RequiredLevels(g) if params.refactor.preserve_levels else None
 
-    nodes = g.and_ids()
-    if cache is None:
-        cache = {}
-    if params.batched:
-        keep = _batch_classify(g, nodes, classifier, params, stats)
-    else:
-        keep = None
-
-    for position, node in enumerate(nodes):
-        if g.is_dead(node):
-            continue
-        stats.nodes_visited += 1
+        nodes = g.and_ids()
+        if cache is None:
+            cache = {}
         if params.batched:
-            if not keep[position]:
-                stats.pruned += 1
-                continue
-            t0 = time.perf_counter()
-            cut = reconv_cut(
-                g, node, params.refactor.max_leaves, collect_features=False
-            )
-            stats.time_cut += time.perf_counter() - t0
+            keep = _batch_classify(g, nodes, classifier, params, stats)
         else:
-            t0 = time.perf_counter()
-            cut = reconv_cut(
-                g, node, params.refactor.max_leaves, collect_features=True
-            )
-            stats.time_cut += time.perf_counter() - t0
-            t0 = time.perf_counter()
-            keep_one = classifier.keep_mask(
-                cut.features.as_array()[None, :]
-            )[0]
-            stats.time_inference += time.perf_counter() - t0
-            if not keep_one:
-                stats.pruned += 1
+            keep = None
+
+        for position, node in enumerate(nodes):
+            if g.is_dead(node):
                 continue
-        stats.cuts_formed += 1
-        committed = refactor_node(
-            g, node, cut, params.refactor, required, stats, cache
-        )
-        if collector is not None:
-            committed_features = cut.features
-            if committed_features is None:
-                cut_feats = reconv_cut(
+            stats.nodes_visited += 1
+            if params.batched:
+                if not keep[position]:
+                    stats.pruned += 1
+                    continue
+                t0 = time.perf_counter()
+                cut = reconv_cut(
+                    g, node, params.refactor.max_leaves, collect_features=False
+                )
+                stats.time_cut += time.perf_counter() - t0
+            else:
+                t0 = time.perf_counter()
+                cut = reconv_cut(
                     g, node, params.refactor.max_leaves, collect_features=True
                 )
-                committed_features = cut_feats.features
-            collector(committed_features, committed)
-    stats.time_total = time.perf_counter() - start
+                stats.time_cut += time.perf_counter() - t0
+                t0 = time.perf_counter()
+                keep_one = classifier.keep_mask(
+                    cut.features.as_array()[None, :]
+                )[0]
+                stats.time_inference += time.perf_counter() - t0
+                if not keep_one:
+                    stats.pruned += 1
+                    continue
+            stats.cuts_formed += 1
+            committed = refactor_node(
+                g, node, cut, params.refactor, required, stats, cache
+            )
+            if collector is not None:
+                committed_features = cut.features
+                if committed_features is None:
+                    cut_feats = reconv_cut(
+                        g, node, params.refactor.max_leaves, collect_features=True
+                    )
+                    committed_features = cut_feats.features
+                collector(committed_features, committed)
+        pass_span.set(
+            nodes=stats.nodes_visited, pruned=stats.pruned, commits=stats.commits
+        )
+    stats.time_total = pass_span.duration
     return stats
 
 

@@ -9,18 +9,30 @@ serially by the scheduler.
 
 The executor keeps one ``multiprocessing`` pool alive across waves
 (fork start method where available, so workers inherit the imported
-library for free) and degrades gracefully: ``workers <= 1``, pool
-creation failure, or a mid-run pool error all fall back to in-process
-evaluation, which is bit-identical because workers run the same
-``_resynthesize`` as the sequential operator.
+library for free) and degrades gracefully at two levels: a chunk whose
+worker body errors is recomputed in-process (the other chunks of the
+dispatch are unaffected), while ``workers <= 1``, pool creation failure,
+or a pool-level error (a killed worker) fall back to in-process
+evaluation of everything.  Both paths are bit-identical because workers
+run the same ``_resynthesize`` as the sequential operator.
+
+**Observability** (:mod:`repro.obs`): when tracing is enabled each
+worker measures its chunk — tasks evaluated, evaluate seconds, ISOP-memo
+hits — and piggybacks the serialized delta on the task result; the
+parent merges deltas into the metrics registry at collect time, so
+worker-side counters cost zero extra IPC round-trips.  A failed chunk
+returns no snapshot and therefore loses only its own delta.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 
+from .. import obs
 from ..opt.refactor import RefactorParams, _resynthesize
+from ..tt.isop import isop_memo_hits
 
 ResynthTask = "tuple[int, int]"  # (truth table, number of leaves)
 
@@ -33,9 +45,32 @@ def resynthesize_batch(
     return [_resynthesize(tt, n_leaves, params, None) for tt, n_leaves in tasks]
 
 
-def _worker(payload: tuple) -> list[tuple]:
-    params, chunk = payload
-    return resynthesize_batch(chunk, params)
+def _worker(payload: tuple) -> tuple:
+    """Worker body: ``(entries, error, snapshot)`` for one chunk.
+
+    Errors are contained per chunk (``entries is None`` + the formatted
+    error; the parent recomputes that chunk in-process), and the metrics
+    snapshot rides along only when the parent asked for one and the
+    chunk succeeded.
+    """
+    params, chunk, want_obs = payload
+    t0 = time.perf_counter()
+    memo0 = isop_memo_hits()
+    try:
+        entries = resynthesize_batch(chunk, params)
+    except Exception as error:
+        return (None, f"{type(error).__name__}: {error}", None)
+    snapshot = None
+    if want_obs:
+        snapshot = {
+            "counters": {
+                "engine_worker_tasks_total": len(chunk),
+                "engine_worker_evaluate_seconds_total": time.perf_counter() - t0,
+                "engine_worker_isop_memo_hits_total": isop_memo_hits() - memo0,
+                "engine_worker_chunks_total": 1,
+            }
+        }
+    return (entries, None, snapshot)
 
 
 def _chunked(tasks: list, n_chunks: int) -> list[list]:
@@ -90,13 +125,26 @@ class ResynthExecutor:
         # ~4 chunks per worker amortizes dispatch while keeping the pool
         # load-balanced when task costs are skewed.
         chunks = _chunked(tasks, self.workers * 4)
+        want_obs = obs.enabled()
         try:
-            results = pool.map(_worker, [(self.params, chunk) for chunk in chunks])
+            raw = pool.map(_worker, [(self.params, chunk, want_obs) for chunk in chunks])
         except Exception:
             self._teardown()
             self._pool_broken = True
             return resynthesize_batch(tasks, self.params)
-        return [entry for chunk in results for entry in chunk]
+        results: list[tuple] = []
+        for chunk, (entries, error, snapshot) in zip(chunks, raw):
+            if entries is None:
+                # Chunk-level containment: recompute just this chunk in
+                # process (bit-identical worker body); its worker-side
+                # metrics delta is the only thing lost.
+                if want_obs:
+                    obs.counter("engine_worker_chunks_failed_total").add(1)
+                entries = resynthesize_batch(chunk, self.params)
+            elif snapshot is not None:
+                obs.merge_worker_snapshot(snapshot)
+            results.extend(entries)
+        return results
 
     def close(self) -> None:
         self._teardown()

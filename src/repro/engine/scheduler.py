@@ -44,9 +44,9 @@ from __future__ import annotations
 
 import dataclasses
 import os
-import time
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..aig.graph import AIG
 from ..cuts.features import stack_features
 from ..opt.refactor import (
@@ -202,7 +202,10 @@ def engine_refactor(
     params = params or EngineParams()
     workers = params.resolved_workers()
     if workers <= 1:
-        return _delegate_sequential(g, params, classifier)
+        with obs.span("engine.pass", operator="refactor", workers=1, delegated=True):
+            stats = _delegate_sequential(g, params, classifier)
+        _record_pass_metrics(stats)
+        return stats
 
     stats = EngineStats(workers=workers)
     base_cache = params.resynth_cache
@@ -242,7 +245,10 @@ def engine_rewrite(
     params = params or RewriteEngineParams()
     workers = params.resolved_workers()
     if workers <= 1:
-        return _delegate_sequential_rewrite(g, params)
+        with obs.span("engine.pass", operator="rewrite", workers=1, delegated=True):
+            stats = _delegate_sequential_rewrite(g, params)
+        _record_pass_metrics(stats)
+        return stats
 
     stats = EngineStats(workers=workers, operator="rewrite")
     base_cache = params.resynth_cache
@@ -313,62 +319,120 @@ def run_wave_pass(
     invalidation and repair waves — and calls the operator's hooks for
     the rest.  ``stats`` is the caller-constructed :class:`EngineStats`
     (mutated in place and returned).
+
+    Every phase is bracketed by a :mod:`repro.obs` span (one pass span,
+    ``engine.snapshot`` / ``engine.conflict`` children, one
+    ``engine.wave`` child per executed wave with per-phase grandchildren)
+    and the stats timing fields read the span durations — with tracing
+    enabled, a Chrome-trace timeline and the stats report can never
+    disagree, because they are the same measurements.
     """
-    start = time.perf_counter()
+    with obs.span(
+        "engine.pass", operator=stats.operator, workers=stats.workers
+    ) as pass_span:
+        # Phase 1: pass-level prep + snapshot sweep on the intact graph.
+        with obs.span("engine.snapshot") as snap_span:
+            op.prepare(g, stats)
+            candidates: list[Candidate] = []
+            for node in g.iter_ands():
+                candidate = op.snapshot(g, node, stats)
+                if candidate is not None:
+                    candidates.append(candidate)
+            snap_span.set(n_candidates=len(candidates))
+        stats.time_snapshot = snap_span.duration
+        stats.time_cut += stats.time_snapshot
+        stats.n_candidates = len(candidates)
 
-    # Phase 1: pass-level prep + snapshot sweep on the intact graph.
-    t0 = time.perf_counter()
-    op.prepare(g, stats)
-    candidates: list[Candidate] = []
-    for node in g.iter_ands():
-        candidate = op.snapshot(g, node, stats)
-        if candidate is not None:
-            candidates.append(candidate)
-    stats.time_snapshot = time.perf_counter() - t0
-    stats.time_cut += stats.time_snapshot
-    stats.n_candidates = len(candidates)
+        # Phase 2: conflict planning over the shared inverted index.
+        with obs.span("engine.conflict") as conflict_span:
+            index = CandidateIndex()
+            for i, candidate in enumerate(candidates):
+                index.add(i, candidate)
+            adjacency, n_edges = build_conflict_graph(candidates, index)
+            wave_queue = color_waves(adjacency)
+            conflict_span.set(n_edges=n_edges, n_waves=len(wave_queue))
+        stats.n_conflict_edges = n_edges
+        stats.time_conflict = conflict_span.duration
 
-    # Phase 2: conflict planning over the shared inverted index.
-    t0 = time.perf_counter()
-    index = CandidateIndex()
-    for i, candidate in enumerate(candidates):
-        index.add(i, candidate)
-    adjacency, n_edges = build_conflict_graph(candidates, index)
-    wave_queue = color_waves(adjacency)
-    stats.n_conflict_edges = n_edges
-    stats.time_conflict = time.perf_counter() - t0
-
-    # Phases 3+4, wave by wave.  Snapshots describe the graph as of now;
-    # discard older damage.
-    g.drain_dirty()
-    pending = set(range(len(candidates)))
-    stale: set[int] = set()  # invalidated, not yet re-snapshotted
-    for wave in wave_queue:
-        members = [i for i in wave if i in pending]
-        repair = False
-        while members:
-            stats.n_waves += 1
-            if repair:
-                stats.n_repair_waves += 1
-            deferred = _run_wave(
-                g,
-                op,
-                members,
-                candidates,
-                index,
-                classifier,
-                stats,
-                pending,
-                stale,
-            )
-            # Members invalidated mid-wave split off into a repair wave
-            # that runs immediately, preserving the sequential sweep's
-            # node-order locality.
-            members = sorted(i for i in deferred if i in pending)
-            repair = True
-    op.finish(stats)
-    stats.time_total = time.perf_counter() - start
+        # Phases 3+4, wave by wave.  Snapshots describe the graph as of
+        # now; discard older damage.
+        g.drain_dirty()
+        pending = set(range(len(candidates)))
+        stale: set[int] = set()  # invalidated, not yet re-snapshotted
+        for wave in wave_queue:
+            members = [i for i in wave if i in pending]
+            repair = False
+            while members:
+                stats.n_waves += 1
+                if repair:
+                    stats.n_repair_waves += 1
+                with obs.span(
+                    "engine.wave",
+                    wave=stats.n_waves - 1,
+                    repair=repair,
+                    members=len(members),
+                ) as wave_span:
+                    deferred = _run_wave(
+                        g,
+                        op,
+                        members,
+                        candidates,
+                        index,
+                        classifier,
+                        stats,
+                        pending,
+                        stale,
+                    )
+                    wave_span.set(deferred=len(deferred))
+                # Members invalidated mid-wave split off into a repair
+                # wave that runs immediately, preserving the sequential
+                # sweep's node-order locality.
+                members = sorted(i for i in deferred if i in pending)
+                repair = True
+        op.finish(stats)
+        pass_span.set(
+            n_candidates=stats.n_candidates,
+            n_waves=stats.n_waves,
+            n_invalidated=stats.n_invalidated,
+            n_resnapshotted=stats.n_resnapshotted,
+            n_repair_waves=stats.n_repair_waves,
+            n_cache_hits=stats.n_cache_hits,
+            n_npn_hits=stats.n_npn_hits,
+            n_library_hits=stats.n_library_hits,
+            dedup_rate=round(stats.dedup_rate, 6),
+            commits=stats.commits,
+        )
+    stats.time_total = pass_span.duration
+    _record_pass_metrics(stats)
     return stats
+
+
+def _record_pass_metrics(stats: EngineStats) -> None:
+    """Fold one finished pass into the process metrics registry.
+
+    The registry is always on (cheap, per-pass granularity); tracing
+    spans are the opt-in part.  These counters are what the Prometheus
+    and JSONL exports surface, and what benchmarks read instead of
+    hand-rolled timers.
+    """
+    m = obs.metrics()
+    op = stats.operator
+    m.counter("engine_passes_total", operator=op).add(1)
+    m.counter("engine_waves_total", operator=op).add(stats.n_waves)
+    m.counter("engine_commits_total", operator=op).add(stats.commits)
+    m.counter("engine_tasks_total", operator=op).add(stats.n_tasks)
+    m.counter("engine_unique_tasks_total", operator=op).add(stats.n_unique_tasks)
+    m.counter("engine_invalidated_total", operator=op).add(stats.n_invalidated)
+    m.counter("engine_resnapshotted_total", operator=op).add(stats.n_resnapshotted)
+    m.counter("engine_repair_waves_total", operator=op).add(stats.n_repair_waves)
+    m.counter("engine_cache_hits_total", operator=op, layer="exact").add(stats.n_cache_hits)
+    m.counter("engine_cache_hits_total", operator=op, layer="npn").add(stats.n_npn_hits)
+    m.counter("engine_cache_hits_total", operator=op, layer="library").add(
+        stats.n_library_hits
+    )
+    m.histogram(
+        "engine_pass_seconds", operator=op, workers=str(stats.workers)
+    ).observe(stats.time_total)
 
 
 def _refresh_members(
@@ -392,24 +456,27 @@ def _refresh_members(
     dropped as well.
     """
     refreshed: list[tuple[int, Candidate]] = []
-    t0 = time.perf_counter()
-    for i in member_indices:
-        if i not in stale:
-            refreshed.append((i, candidates[i]))
-            continue
-        stale.discard(i)
-        if g.is_dead(candidates[i].node):
-            pending.discard(i)
-            continue
-        fresh = op.resnapshot(g, candidates[i], stats)
-        if fresh is None:
-            pending.discard(i)
-            continue
-        candidates[i] = fresh
-        index.add(i, fresh)
-        stats.n_resnapshotted += 1
-        refreshed.append((i, fresh))
-    stats.time_resnapshot += time.perf_counter() - t0
+    with obs.span("engine.resnapshot") as sp:
+        n_refreshed = 0
+        for i in member_indices:
+            if i not in stale:
+                refreshed.append((i, candidates[i]))
+                continue
+            stale.discard(i)
+            if g.is_dead(candidates[i].node):
+                pending.discard(i)
+                continue
+            fresh = op.resnapshot(g, candidates[i], stats)
+            if fresh is None:
+                pending.discard(i)
+                continue
+            candidates[i] = fresh
+            index.add(i, fresh)
+            stats.n_resnapshotted += 1
+            n_refreshed += 1
+            refreshed.append((i, fresh))
+        sp.set(refreshed=n_refreshed)
+    stats.time_resnapshot += sp.duration
     return refreshed
 
 
@@ -441,10 +508,10 @@ def _run_wave(
     if classifier is not None and op.wants_features:
         if not members:
             return set()
-        t0 = time.perf_counter()
-        matrix = stack_features([c.features for _, c in members])
-        keep = classifier.keep_mask(matrix)
-        stats.time_inference += time.perf_counter() - t0
+        with obs.span("engine.classify", members=len(members)) as sp:
+            matrix = stack_features([c.features for _, c in members])
+            keep = classifier.keep_mask(matrix)
+        stats.time_inference += sp.duration
         for (i, candidate), keep_one in zip(members, keep):
             if keep_one:
                 survivors.append((i, candidate))
@@ -457,7 +524,8 @@ def _run_wave(
 
     # The operator's batchable middle: truth kernels, cache lookups,
     # pooled resynthesis — whatever the operator fuses per wave.
-    results = op.evaluate(g, survivors, stats)
+    with obs.span("engine.evaluate", survivors=len(survivors)):
+        results = op.evaluate(g, survivors, stats)
 
     # Serial replay in ascending node order.  Each commit drains the
     # dirty journal and pushes the killed set through the candidate
@@ -465,25 +533,26 @@ def _run_wave(
     # stale (their wave refreshes them lazily on arrival), and
     # invalidated members of *this* wave are additionally deferred so
     # the caller can split them off into an immediate repair wave.
-    t0 = time.perf_counter()
-    replay = sorted(zip(survivors, results), key=lambda item: item[0][1].node)
-    unprocessed = {i for i, _ in survivors}
-    deferred: set[int] = set()
-    for (i, candidate), result in replay:
-        unprocessed.discard(i)
-        if i in deferred:
-            continue  # stays pending; the repair wave re-snapshots it
-        if g.is_dead(candidate.node):  # pragma: no cover - journal catches this first
-            deferred.add(i)
-            stale.add(i)
-            continue
-        commit_dirty: set[int] = set()
-        op.commit(g, candidate, result, stats, commit_dirty)
-        pending.discard(i)
-        if commit_dirty:
-            invalidated = index.invalidated(commit_dirty, pending)
-            stats.n_invalidated += len(invalidated - stale)
-            stale |= invalidated
-            deferred |= invalidated & unprocessed
-    stats.time_replay += time.perf_counter() - t0
+    with obs.span("engine.commit") as commit_span:
+        replay = sorted(zip(survivors, results), key=lambda item: item[0][1].node)
+        unprocessed = {i for i, _ in survivors}
+        deferred: set[int] = set()
+        for (i, candidate), result in replay:
+            unprocessed.discard(i)
+            if i in deferred:
+                continue  # stays pending; the repair wave re-snapshots it
+            if g.is_dead(candidate.node):  # pragma: no cover - journal catches this first
+                deferred.add(i)
+                stale.add(i)
+                continue
+            commit_dirty: set[int] = set()
+            op.commit(g, candidate, result, stats, commit_dirty)
+            pending.discard(i)
+            if commit_dirty:
+                invalidated = index.invalidated(commit_dirty, pending)
+                stats.n_invalidated += len(invalidated - stale)
+                stale |= invalidated
+                deferred |= invalidated & unprocessed
+        commit_span.set(replayed=len(replay), deferred=len(deferred))
+    stats.time_replay += commit_span.duration
     return deferred

@@ -181,9 +181,12 @@ def engine_scaling(
     operator: ``"refactor"`` (optionally classifier-pruned) or
     ``"rewrite"``; rewrite runs use a private NPN library per timed run
     so no run starts with another's canonization cache.
-    """
-    import time as _time
 
+    Runtimes are the operators' own ``stats.time_total``, which the
+    :mod:`repro.obs` span instrumentation fills — the benchmark no
+    longer keeps a hand-rolled clock around each run, so its numbers
+    are exactly the timings a trace export of the same run shows.
+    """
     from ..engine import (
         EngineParams,
         RewriteEngineParams,
@@ -235,9 +238,8 @@ def engine_scaling(
     # Every timed run starts with a cold process-wide ISOP memo, so the
     # comparison is mode vs mode, not cold-cache vs warm-cache.
     clear_isop_memo()
-    t0 = _time.perf_counter()
     baseline_stats = run_baseline(baseline_g)
-    baseline_runtime = _time.perf_counter() - t0
+    baseline_runtime = baseline_stats.time_total
     rows = [
         EngineScalingRow(
             design=g.name,
@@ -254,9 +256,8 @@ def engine_scaling(
     for workers in workers_list:
         engine_g = g.clone()
         clear_isop_memo()
-        t0 = _time.perf_counter()
         stats = run_engine(engine_g, workers)
-        runtime = _time.perf_counter() - t0
+        runtime = stats.time_total
         rows.append(
             EngineScalingRow(
                 design=g.name,

@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..aig.graph import AIG
 from ..aig.levels import RequiredLevels
 from ..aig.literal import lit_node, lit_not, make_lit
@@ -108,23 +109,24 @@ def refactor(
     params = params or RefactorParams()
     stats = RefactorStats()
     g.drain_dirty()  # sequential pass: retire the previous journal epoch
-    start = time.perf_counter()
-    required = RequiredLevels(g) if params.preserve_levels else None
-    want_features = collector is not None
-    if cache is None:
-        cache = {}
-    for node in g.and_ids():
-        if g.is_dead(node):
-            continue
-        stats.nodes_visited += 1
-        t0 = time.perf_counter()
-        cut = reconv_cut(g, node, params.max_leaves, collect_features=want_features)
-        stats.time_cut += time.perf_counter() - t0
-        stats.cuts_formed += 1
-        committed = refactor_node(g, node, cut, params, required, stats, cache)
-        if collector is not None:
-            collector(cut.features, committed)
-    stats.time_total = time.perf_counter() - start
+    with obs.span("opt.refactor") as pass_span:
+        required = RequiredLevels(g) if params.preserve_levels else None
+        want_features = collector is not None
+        if cache is None:
+            cache = {}
+        for node in g.and_ids():
+            if g.is_dead(node):
+                continue
+            stats.nodes_visited += 1
+            t0 = time.perf_counter()
+            cut = reconv_cut(g, node, params.max_leaves, collect_features=want_features)
+            stats.time_cut += time.perf_counter() - t0
+            stats.cuts_formed += 1
+            committed = refactor_node(g, node, cut, params, required, stats, cache)
+            if collector is not None:
+                collector(cut.features, committed)
+        pass_span.set(nodes=stats.nodes_visited, commits=stats.commits)
+    stats.time_total = pass_span.duration
     return stats
 
 

@@ -17,9 +17,9 @@ refactor.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from .. import obs
 from ..aig.graph import AIG
 from ..aig.literal import lit_node, lit_not, make_lit
 from ..aig.mffc import mffc_nodes
@@ -52,13 +52,14 @@ def resub(g: AIG, params: ResubParams | None = None) -> ResubStats:
     params = params or ResubParams()
     stats = ResubStats()
     g.drain_dirty()  # sequential pass: retire the previous journal epoch
-    start = time.perf_counter()
-    for node in g.and_ids():
-        if g.is_dead(node):
-            continue
-        stats.nodes_visited += 1
-        _resub_node(g, node, params, stats)
-    stats.time_total = time.perf_counter() - start
+    with obs.span("opt.resub") as pass_span:
+        for node in g.and_ids():
+            if g.is_dead(node):
+                continue
+            stats.nodes_visited += 1
+            _resub_node(g, node, params, stats)
+        pass_span.set(nodes=stats.nodes_visited, commits=stats.commits)
+    stats.time_total = pass_span.duration
     return stats
 
 

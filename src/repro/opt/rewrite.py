@@ -30,9 +30,9 @@ implementation of every graph-facing decision.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from .. import obs
 from ..aig.graph import AIG
 from ..aig.levels import RequiredLevels
 from ..aig.literal import lit_node, lit_not, make_lit
@@ -76,15 +76,16 @@ def rewrite(
         library = default_library()
     stats = RewriteStats()
     g.drain_dirty()  # sequential pass: retire the previous journal epoch
-    start = time.perf_counter()
-    required = RequiredLevels(g) if params.preserve_levels else None
-    all_cuts = enumerate_cuts(g, params.k, params.max_cuts)
-    for node in g.and_ids():
-        if g.is_dead(node):
-            continue
-        stats.nodes_visited += 1
-        _rewrite_node(g, node, all_cuts, library, params, required, stats)
-    stats.time_total = time.perf_counter() - start
+    with obs.span("opt.rewrite") as pass_span:
+        required = RequiredLevels(g) if params.preserve_levels else None
+        all_cuts = enumerate_cuts(g, params.k, params.max_cuts)
+        for node in g.and_ids():
+            if g.is_dead(node):
+                continue
+            stats.nodes_visited += 1
+            _rewrite_node(g, node, all_cuts, library, params, required, stats)
+        pass_span.set(nodes=stats.nodes_visited, commits=stats.commits)
+    stats.time_total = pass_span.duration
     return stats
 
 

@@ -30,9 +30,9 @@ from __future__ import annotations
 
 import os
 import threading
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from .. import obs
 from ..aig.graph import AIG
 from ..errors import ReproError
 from .flow import FlowReport, FlowStep
@@ -50,16 +50,69 @@ class DroppedExecutor:
     external: bool  # True when the dropped pool was caller-provided
 
 
-@dataclass
 class SessionStats:
-    """What a session provisioned, reused and dropped across its runs."""
+    """What a session provisioned, reused and dropped across its runs.
 
-    runs: int = 0
-    commands: int = 0
-    cache_created: bool = False
-    library_created: bool = False
-    executor_created: bool = False
-    dropped_executors: list[DroppedExecutor] = field(default_factory=list)
+    Backed by the :mod:`repro.obs` metrics registry: each session owns a
+    process-unique ``session`` label and its counters/gauges live as
+    registry series (``session_runs_total``, ``session_commands_total``,
+    ``session_executors_dropped_total``, ``session_resource_created``),
+    so drop records and provisioning flags appear in Prometheus/JSONL
+    exports with no second bookkeeping path.  The historical public
+    attributes (``runs``, ``commands``, ``cache_created``, ...) remain
+    as read-through views over those series; ``dropped_executors`` keeps
+    the detailed per-drop records (the registry carries the count).
+    """
+
+    def __init__(self) -> None:
+        self.label = obs.next_label("session")
+        labels = {"session": self.label}
+        metrics = obs.metrics()
+        self.dropped_executors: list[DroppedExecutor] = []
+        self._runs = metrics.counter("session_runs_total", **labels)
+        self._commands = metrics.counter("session_commands_total", **labels)
+        self._drops = metrics.counter("session_executors_dropped_total", **labels)
+        self._created = {
+            kind: metrics.gauge("session_resource_created", resource=kind, **labels)
+            for kind in ("cache", "library", "executor")
+        }
+
+    # -- recording (callers hold the session lock where concurrency applies)
+
+    def record_run(self) -> None:
+        self._runs.add(1)
+
+    def record_command(self) -> None:
+        self._commands.add(1)
+
+    def record_drop(self, drop: DroppedExecutor) -> None:
+        self.dropped_executors.append(drop)
+        self._drops.add(1)
+
+    def mark_created(self, kind: str) -> None:
+        self._created[kind].set(1)
+
+    # -- read-through views (the historical dataclass attributes) ------------
+
+    @property
+    def runs(self) -> int:
+        return int(self._runs.value)
+
+    @property
+    def commands(self) -> int:
+        return int(self._commands.value)
+
+    @property
+    def cache_created(self) -> bool:
+        return bool(self._created["cache"].value)
+
+    @property
+    def library_created(self) -> bool:
+        return bool(self._created["library"].value)
+
+    @property
+    def executor_created(self) -> bool:
+        return bool(self._created["executor"].value)
 
     @property
     def executors_dropped(self) -> int:
@@ -89,8 +142,7 @@ class FlowContext:
                 from ..engine import ResynthCache
 
                 self._run_cache = ResynthCache()
-                with self.session._lock:  # stats are shared; cache is not
-                    self.session.stats.cache_created = True
+                self.session.stats.mark_created("cache")
             return self._run_cache
         return self.session.resynth_cache
 
@@ -141,7 +193,7 @@ class FlowContext:
         pool was caller-attached (``external``) or session-owned.
         """
         with self.session._lock:
-            self.session.stats.dropped_executors.append(
+            self.session.stats.record_drop(
                 DroppedExecutor(
                     command=self.command,
                     pinned_workers=pinned,
@@ -213,7 +265,7 @@ class OptSession:
             with self._lock:
                 if self._cache is None:
                     self._cache = ResynthCache()
-                    self.stats.cache_created = True
+                    self.stats.mark_created("cache")
         return self._cache
 
     @property
@@ -230,7 +282,7 @@ class OptSession:
             with self._lock:
                 if self._library is None:
                     self._library = default_library()
-                    self.stats.library_created = True
+                    self.stats.mark_created("library")
         return self._library
 
     @property
@@ -265,7 +317,7 @@ class OptSession:
             with self._lock:
                 if self._own_executor is None:
                     self._own_executor = ResynthExecutor(width, RefactorParams())
-                    self.stats.executor_created = True
+                    self.stats.mark_created("executor")
         return self._own_executor
 
     def warm_engine(self, width: int) -> bool:
@@ -313,30 +365,49 @@ class OptSession:
         ctx = FlowContext(self, classifier if classifier is not None else self.classifier)
         report = FlowReport(script=script)
         with self._lock:  # shard sessions run circuits concurrently
-            self.stats.runs += 1
-        for raw in script.split(";"):
-            command = raw.strip()
-            if not command:
-                continue
-            resolved = self.registry.resolve(command)
-            self._check_resources(resolved, ctx)
-            ctx.command = command
-            ctx.executor_dropped = False
-            with self._lock:
-                self.stats.commands += 1
-            t0 = time.perf_counter()
-            g, detail = resolved.spec.execute(g, ctx, resolved.flags)
-            report.steps.append(
-                FlowStep(
-                    command=command,
-                    runtime=time.perf_counter() - t0,
-                    n_ands=g.n_ands,
-                    level=g.max_level(),
-                    detail=detail,
-                    normalized=resolved.canonical,
-                    executor_dropped=ctx.executor_dropped,
+            self.stats.record_run()
+        metrics = obs.metrics()
+        with obs.span("flow.run", script=script, session=self.stats.label) as run_span:
+            for raw in script.split(";"):
+                command = raw.strip()
+                if not command:
+                    continue
+                resolved = self.registry.resolve(command)
+                self._check_resources(resolved, ctx)
+                ctx.command = command
+                ctx.executor_dropped = False
+                with self._lock:
+                    self.stats.record_command()
+                ands_before = g.n_ands
+                # The per-command span both feeds the trace timeline and
+                # *is* the step timing (FlowStep.runtime and therefore
+                # FlowReport.runtime_of read its duration) — one clock
+                # for reports and telemetry.
+                with obs.span(
+                    "flow.command", command=command, normalized=resolved.canonical
+                ) as step_span:
+                    g, detail = resolved.spec.execute(g, ctx, resolved.flags)
+                    step_span.set(n_ands=g.n_ands)
+                head = resolved.head
+                metrics.counter("flow_commands_total", command=head).add(1)
+                metrics.histogram("flow_command_seconds", command=head).observe(
+                    step_span.duration
                 )
-            )
+                metrics.counter("flow_command_and_delta_total", command=head).add(
+                    abs(g.n_ands - ands_before)
+                )
+                report.steps.append(
+                    FlowStep(
+                        command=command,
+                        runtime=step_span.duration,
+                        n_ands=g.n_ands,
+                        level=g.max_level(),
+                        detail=detail,
+                        normalized=resolved.canonical,
+                        executor_dropped=ctx.executor_dropped,
+                    )
+                )
+            run_span.set(steps=len(report.steps), n_ands=g.n_ands)
         return g, report
 
     def _check_resources(self, resolved: ResolvedCommand, ctx: FlowContext) -> None:

@@ -43,35 +43,54 @@ fire while any live circuit is still working.  Occupancy statistics
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 
-@dataclass
+
 class FusionStats:
     """Occupancy record of one shard's fused classifier.
 
     ``rounds[k] = (n_subbatches, n_rows)``: how many circuits and how
-    many feature rows round ``k`` served with a single inference.
+    many feature rows round ``k`` served with a single inference.  The
+    totals live in the :mod:`repro.obs` metrics registry (series labeled
+    with this instance's unique ``shard`` label); ``n_calls`` /
+    ``n_subbatches`` / ``n_rows`` read through to it, so a Prometheus
+    export of a serving run carries occupancy without extra plumbing.
     """
 
-    rounds: list[tuple[int, int]] = field(default_factory=list)
+    def __init__(self) -> None:
+        self.label = obs.next_label("shard")
+        self.rounds: list[tuple[int, int]] = []
+        registry = obs.metrics()
+        self._calls = registry.counter("serve_fusion_rounds_total", shard=self.label)
+        self._subbatches = registry.counter(
+            "serve_fusion_subbatches_total", shard=self.label
+        )
+        self._rows = registry.counter("serve_fusion_rows_total", shard=self.label)
+
+    def record_round(self, n_subbatches: int, n_rows: int) -> None:
+        """Account one fused dispatch serving ``n_subbatches`` circuits."""
+        self.rounds.append((n_subbatches, n_rows))
+        self._calls.add(1)
+        self._subbatches.add(n_subbatches)
+        self._rows.add(n_rows)
 
     @property
     def n_calls(self) -> int:
         """Fused inference dispatches actually issued."""
-        return len(self.rounds)
+        return int(self._calls.value)
 
     @property
     def n_subbatches(self) -> int:
         """Per-circuit requests served (what unfused serving would dispatch)."""
-        return sum(r[0] for r in self.rounds)
+        return int(self._subbatches.value)
 
     @property
     def n_rows(self) -> int:
         """Total feature rows classified."""
-        return sum(r[1] for r in self.rounds)
+        return int(self._rows.value)
 
     @property
     def mean_occupancy(self) -> float:
@@ -149,8 +168,8 @@ class SharedClassifierService:
         batches = [self._pending[n] for n in names]
         try:
             masks = self.classifier.fused_keep_masks(batches)
-            self.stats.rounds.append(
-                (len(batches), sum(int(b.shape[0]) for b in batches))
+            self.stats.record_round(
+                len(batches), sum(int(b.shape[0]) for b in batches)
             )
             self._results.update(zip(names, masks))
         except Exception as error:  # propagate to every waiter, not one

@@ -30,10 +30,10 @@ from __future__ import annotations
 import os
 import queue
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from .. import obs
 from ..aig.graph import AIG
 from ..aig.io_bench import to_text
 from ..opt.flow import FlowReport
@@ -207,15 +207,18 @@ def serve_suite(
     params = params or ServeParams()
     plan = assign_shards(suite, params.n_shards, cost)
     fusion: dict[int, FusionStats] = {}
-    t0 = time.perf_counter()
-    results = list(
-        serve_stream(suite, params, classifier, cost, fusion_out=fusion, plan=plan)
-    )
+    with obs.span(
+        "serve.suite", circuits=len(suite), shards=len(plan.shards), flow=params.flow
+    ) as suite_span:
+        results = list(
+            serve_stream(suite, params, classifier, cost, fusion_out=fusion, plan=plan)
+        )
+        suite_span.set(ok=all(r.ok for r in results))
     return ServeReport(
         plan=plan,
         results=results,
         fusion=fusion,
-        wall_time=time.perf_counter() - t0,
+        wall_time=suite_span.duration,
     )
 
 
@@ -241,19 +244,31 @@ def _serve_one(
         level_before=g.max_level(),
     )
     client = service.client(name) if service is not None else None
-    t0 = time.perf_counter()
+    # The span doubles as the latency clock: ``result.runtime`` is its
+    # duration, and the registry histogram below is what the throughput
+    # benchmark and a Prometheus scrape read.
+    span = obs.span("serve.circuit", circuit=name, shard=shard)
     try:
-        out, report = session.run(g.clone(), params.flow, classifier=client)
-        result.report = report
-        result.n_ands = out.n_ands
-        result.level = out.max_level()
-        result.bench_text = to_text(out)
-        if params.keep_graphs:
-            result.graph = out
+        with span:
+            out, report = session.run(g.clone(), params.flow, classifier=client)
+            result.report = report
+            result.n_ands = out.n_ands
+            result.level = out.max_level()
+            result.bench_text = to_text(out)
+            if params.keep_graphs:
+                result.graph = out
+            span.set(n_ands=out.n_ands)
     except Exception as error:
         result.error = f"{type(error).__name__}: {error}"
     finally:
         if client is not None:
             client.finish()
-        result.runtime = time.perf_counter() - t0
+        result.runtime = span.duration
+        metrics = obs.metrics()
+        metrics.histogram("serve_circuit_seconds", shard=str(shard)).observe(
+            result.runtime
+        )
+        metrics.counter(
+            "serve_circuits_total", outcome="ok" if result.ok else "error"
+        ).add(1)
         results.put(result)

@@ -26,16 +26,26 @@ ISOP_MEMO_LIMIT = 1 << 18
 """Entry cap of the process-wide Minato-Morreale memo (cleared, not LRU)."""
 
 _MEMO: dict[tuple[int, int, int, int], tuple[list[int], int]] = {}
+_MEMO_HITS = 0
 
 
 def clear_isop_memo() -> None:
-    """Reset the process-wide memo.
+    """Reset the process-wide memo (and its hit counter).
 
     Results never depend on memo state; this exists so benchmarks can
     time every mode from a cold start instead of letting earlier runs
     warm later ones.
     """
+    global _MEMO_HITS
     _MEMO.clear()
+    _MEMO_HITS = 0
+
+
+def isop_memo_hits() -> int:
+    """Cumulative memo hits of this process (snapshot around a region to
+    report per-task rates — the worker pool ships the delta home on each
+    task result for the observability registry)."""
+    return _MEMO_HITS
 
 
 def isop_exact(tt: int, n_vars: int) -> list[int]:
@@ -70,6 +80,8 @@ def _isop(lower: int, upper: int, top: int, n_vars: int) -> tuple[list[int], int
     key = (lower, upper, top, n_vars)
     hit = _MEMO.get(key)
     if hit is not None:
+        global _MEMO_HITS
+        _MEMO_HITS += 1
         return hit
     # Find the top-most variable either bound depends on.
     var = top - 1

@@ -2,9 +2,9 @@
 
 Two checks, both cheap enough to run inside the default test target:
 
-1. **Module docstrings.**  Every ``.py`` file under ``src/repro/engine``
-   and ``src/repro/serve`` — plus the individually listed hot-path and
-   API-surface modules (simulation kernels, the rewrite operator, and
+1. **Module docstrings.**  Every ``.py`` file under ``src/repro/engine``,
+   ``src/repro/serve`` and ``src/repro/obs`` — plus the individually
+   listed hot-path and API-surface modules (simulation kernels, the rewrite operator, and
    the flow layer: ``opt/flow.py``, ``opt/registry.py``,
    ``opt/session.py``, the ``python -m repro`` entry point) — must
    carry a non-trivial module docstring, so ``pydoc repro.engine`` /
@@ -14,6 +14,10 @@ Two checks, both cheap enough to run inside the default test target:
    ``README.md`` is executed (in one shared namespace, top to bottom, so
    later examples may build on earlier ones).  A README that drifts from
    the API fails the build instead of misleading the next reader.
+3. **Doc cross-links.**  ``docs/observability.md`` must exist, and
+   ``docs/engine.md`` / ``docs/serving.md`` must link to it — the
+   observability page documents *their* instrumentation, so a missing
+   link means one of the pages went stale.
 
 Exit status 0 on success; prints every failure before exiting non-zero.
 """
@@ -26,7 +30,7 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-DOCSTRING_TREES = ("src/repro/engine", "src/repro/serve")
+DOCSTRING_TREES = ("src/repro/engine", "src/repro/serve", "src/repro/obs")
 DOCSTRING_FILES = (
     "src/repro/aig/simulate.py",
     "src/repro/opt/flow.py",
@@ -91,8 +95,23 @@ def check_readme_examples() -> list[str]:
     return failures
 
 
+def check_doc_crosslinks() -> list[str]:
+    failures: list[str] = []
+    if not (REPO / "docs" / "observability.md").is_file():
+        failures.append("docs/observability.md: missing")
+    for name in ("docs/engine.md", "docs/serving.md"):
+        path = REPO / name
+        if not path.is_file():
+            failures.append(f"{name}: missing")
+        elif "observability.md" not in path.read_text(encoding="utf-8"):
+            failures.append(f"{name}: no cross-link to docs/observability.md")
+    return failures
+
+
 def main() -> int:
-    failures = check_module_docstrings() + check_readme_examples()
+    failures = (
+        check_module_docstrings() + check_readme_examples() + check_doc_crosslinks()
+    )
     for failure in failures:
         print(f"docs-check: {failure}", file=sys.stderr)
     if failures:
