@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test test-fast docs-check lint-timing trace-demo bench bench-rw bench-serve bench-all profile clean
+.PHONY: test test-fast docs-check lint-timing trace-demo bench bench-rw bench-mp bench-serve bench-all profile clean
 
 test: docs-check lint-timing
 	$(PYTHON) -m pytest -x -q
@@ -39,6 +39,13 @@ bench:
 # BENCH_engine.json without touching the refactor records.
 bench-rw:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_scaling.py rewrite
+
+# Wave-transport benchmark: shm segments vs pickled chunks at two
+# workers — serialized pipe bytes, segment volume and dispatch time per
+# transport; merges `operator: "transport"` rows (and the host's
+# cpu_count) into BENCH_engine.json.
+bench-mp:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_transport.py
 
 # resyn2 runtime profile (refactor's share of the flow, paper SS II).
 profile:

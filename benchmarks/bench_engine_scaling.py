@@ -41,8 +41,10 @@ import os
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.circuits import layered_random_aig
 from repro.harness import engine_scaling, format_table, write_report
+from repro.tt.isop import clear_isop_memo
 from repro.verify import equivalent
 
 WORKER_COUNTS = (1, 2, 4)
@@ -57,6 +59,12 @@ def measure_circuit(
     name: str, spec: dict, workers=WORKER_COUNTS, operator: str = "refactor"
 ) -> dict:
     """`harness.engine_scaling` sweep + equivalence check per engine run."""
+    # Cold-start discipline: the ISOP memo and the metrics registry are
+    # process-wide, so without a reset an earlier operator row warms the
+    # later ones (rewrite rows timed against a refactor-heated memo, and
+    # counter deltas smeared across rows).  Every row starts cold.
+    clear_isop_memo()
+    obs.reset()
     g = layered_random_aig(name=name, **spec)
     baseline, *engine_rows = engine_scaling(g, workers_list=workers, operator=operator)
     return {

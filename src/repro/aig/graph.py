@@ -447,18 +447,20 @@ class AIG:
 
     def _update_level(self, node: int) -> None:
         """Recompute ``node``'s level and propagate changes to fanouts."""
+        fanin0, fanin1 = self._fanin0, self._fanin1
+        level, fanouts = self._level, self._fanouts
         worklist = [node]
         while worklist:
             top = worklist.pop()
-            if not self.is_and(top):
+            f0 = fanin0[top]
+            if f0 < 0:  # not an AND node (is_and inlined)
                 continue
-            new_level = 1 + max(
-                self._level[lit_node(self._fanin0[top])],
-                self._level[lit_node(self._fanin1[top])],
-            )
-            if new_level != self._level[top]:
-                self._level[top] = new_level
-                worklist.extend(self._fanouts[top])
+            l0 = level[f0 >> 1]
+            l1 = level[fanin1[top] >> 1]
+            new_level = (l0 if l0 >= l1 else l1) + 1
+            if new_level != level[top]:
+                level[top] = new_level
+                worklist.extend(fanouts[top])
 
     def max_level(self) -> int:
         """Depth of the network: maximum level over PO drivers."""

@@ -1,0 +1,196 @@
+"""Packed wave payloads for the shared-memory resynthesis transport.
+
+The parallel executor used to pickle every ``(truth table, leaf count)``
+task into each chunk message — a big-int per candidate, re-serialized on
+every dispatch.  Here a whole wave is packed **once** into two flat
+arrays (:class:`PackedTasks`), copied into one
+``multiprocessing.shared_memory`` segment (:class:`WaveSegment`), and
+chunk messages shrink to ``(segment descriptor, start, stop)`` ranges:
+workers attach the segment read-only, slice their range, and rebuild the
+exact Python ints.
+
+Array layout (all little-endian, fixed by the descriptor):
+
+* ``n_leaves`` — ``(n_tasks,)`` uint8, the leaf count of each task;
+* ``words`` — ``(n_tasks, n_words)`` uint64, each row the task's truth
+  table packed at the batch-wide width ``n_words =
+  words_per_table(max leaf count)`` (bit ``i`` of table ``t`` lives at
+  ``words[t, i >> 6] >> (i & 63)``, matching :mod:`repro.tt.truth`).
+
+Inside a segment the uint8 array comes first, padded to 8 bytes, then
+the word matrix.  Lifecycle: the parent creates and owns the segment for
+exactly one dispatch, workers ``attach``/``close`` per chunk, and the
+parent unlinks in a ``finally`` — crash paths included — so no ``/dev/shm``
+entry outlives its wave.  See ``docs/engine.md`` ("Packed wave
+payloads") for the transport-selection rules and fallback behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+
+def share_resource_tracker() -> None:
+    """Start the resource tracker now, so forked children inherit it.
+
+    Attaching a segment registers it with the attaching process's
+    tracker (Python < 3.13 has no ``track=False``).  If the tracker
+    first starts inside a forked worker, that private tracker never sees
+    the parent's unlink and reports every wave segment as leaked at
+    shutdown.  Starting it before the pool forks gives all processes the
+    *same* tracker, where duplicate registrations collapse and the
+    owner's unlink retires the name for everyone.
+    """
+    resource_tracker.ensure_running()
+
+import numpy as np
+
+from ..errors import ReproError
+from ..tt.truth import pack_tts
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+@dataclass
+class PackedTasks:
+    """A wave of resynthesis tasks as flat arrays (see module docstring)."""
+
+    words: np.ndarray  # (n_tasks, n_words) uint64
+    n_leaves: np.ndarray  # (n_tasks,) uint8
+
+    @classmethod
+    def pack(cls, tasks: list[tuple[int, int]]) -> "PackedTasks":
+        """Pack ``(tt, n_leaves)`` tasks at the batch-wide word width."""
+        if not tasks:
+            return cls(
+                words=np.zeros((0, 1), dtype=np.uint64),
+                n_leaves=np.zeros(0, dtype=np.uint8),
+            )
+        n_max = max(n for _tt, n in tasks)
+        return cls(
+            words=pack_tts([tt for tt, _n in tasks], n_max),
+            n_leaves=np.array([n for _tt, n in tasks], dtype=np.uint8),
+        )
+
+    @property
+    def n_tasks(self) -> int:
+        return self.words.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes (the serialized size this wave ships once)."""
+        return int(self.words.nbytes + self.n_leaves.nbytes)
+
+    def tasks(self, start: int = 0, stop: int | None = None) -> list[tuple[int, int]]:
+        """Rebuild ``(tt, n_leaves)`` tuples for a task range.
+
+        The ints are exact reconstructions of what :meth:`pack` was
+        given — the shared-memory round trip is bit-identical.
+        """
+        if stop is None:
+            stop = self.n_tasks
+        block = np.ascontiguousarray(self.words[start:stop], dtype="<u8")
+        stride = block.shape[1] * 8
+        raw = block.tobytes()
+        counts = self.n_leaves[start:stop]
+        return [
+            (
+                int.from_bytes(raw[i * stride : (i + 1) * stride], "little"),
+                int(counts[i]),
+            )
+            for i in range(block.shape[0])
+        ]
+
+
+class WaveSegment:
+    """One wave's :class:`PackedTasks` in a shared-memory segment.
+
+    Created (and later unlinked) by the dispatching parent; workers
+    :meth:`attach` by descriptor and must :meth:`close` before returning.
+    Arrays handed out by :meth:`packed` are views into the mapping and
+    die with it — slice/copy before closing (``PackedTasks.tasks`` does).
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        n_tasks: int,
+        n_words: int,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._n_tasks = n_tasks
+        self._n_words = n_words
+        self._owner = owner
+        self._closed = False
+
+    @classmethod
+    def create(cls, packed: PackedTasks) -> "WaveSegment":
+        """Allocate a segment and copy ``packed`` into it (parent side)."""
+        n_tasks, n_words = packed.words.shape
+        offset = _align8(n_tasks)
+        size = max(1, offset + n_tasks * n_words * 8)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        segment = cls(shm, n_tasks, n_words, owner=True)
+        leaves_view, words_view = segment._views()
+        leaves_view[:] = packed.n_leaves
+        words_view[:] = packed.words
+        return segment
+
+    @classmethod
+    def attach(cls, descriptor: tuple[str, int, int]) -> "WaveSegment":
+        """Map an existing segment from its descriptor (worker side)."""
+        name, n_tasks, n_words = descriptor
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, n_tasks, n_words, owner=False)
+
+    def descriptor(self) -> tuple[str, int, int]:
+        """Picklable handle: ``(name, n_tasks, n_words)``."""
+        return (self._shm.name, self._n_tasks, self._n_words)
+
+    def packed(self) -> PackedTasks:
+        """Zero-copy :class:`PackedTasks` views over the mapping."""
+        leaves_view, words_view = self._views()
+        return PackedTasks(words=words_view, n_leaves=leaves_view)
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment; owner only, after :meth:`close`."""
+        if not self._owner:
+            raise ReproError("only the creating process may unlink a wave segment")
+        self._shm.unlink()
+
+    def _views(self) -> tuple[np.ndarray, np.ndarray]:
+        offset = _align8(self._n_tasks)
+        buf = self._shm.buf
+        leaves = np.frombuffer(buf, dtype=np.uint8, count=self._n_tasks)
+        words = np.frombuffer(
+            buf, dtype="<u8", count=self._n_tasks * self._n_words, offset=offset
+        ).reshape(self._n_tasks, self._n_words)
+        return leaves, words
+
+
+def leaked_segments(prefix: str = "psm_") -> list[str]:
+    """Names of live ``/dev/shm`` segments with the stdlib prefix.
+
+    Test/diagnostic helper: a clean engine leaves zero of these behind
+    after pool shutdown (snapshot before, compare after).
+    """
+    import os
+
+    try:
+        return sorted(n for n in os.listdir("/dev/shm") if n.startswith(prefix))
+    except OSError:  # pragma: no cover - non-Linux
+        return []

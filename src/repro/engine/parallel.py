@@ -16,6 +16,20 @@ or a pool-level error (a killed worker) fall back to in-process
 evaluation of everything.  Both paths are bit-identical because workers
 run the same ``_resynthesize`` as the sequential operator.
 
+**Transport** (:mod:`repro.engine.pack`): by default each dispatch packs
+the whole wave's tasks into one shared-memory segment and ships workers
+``(descriptor, start, stop)`` ranges instead of pickled big-int lists —
+the per-wave serialized volume drops to one flat copy plus a few dozen
+bytes per chunk.  The ``transport`` parameter pins ``"shm"`` or
+``"pickle"`` explicitly (benchmarks compare the two); ``"auto"`` uses
+shared memory whenever the platform forks and the payload is worth a
+segment, and falls back to pickle otherwise — or on any segment-creation
+error, counted by ``engine_shm_fallbacks_total``.  Segment lifecycle is
+one dispatch: created, mapped by workers, unlinked in a ``finally`` (the
+``engine_shm_segments_created/unlinked_total`` counters must match after
+every pass; ``engine_task_bytes_total{transport=...}`` records shipped
+bytes per transport).
+
 **Observability** (:mod:`repro.obs`): when tracing is enabled each
 worker measures its chunk — tasks evaluated, evaluate seconds, ISOP-memo
 hits — and piggybacks the serialized delta on the task result; the
@@ -28,13 +42,20 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
 import time
 
 from .. import obs
+from ..errors import ReproError
 from ..opt.refactor import RefactorParams, _resynthesize
 from ..tt.isop import isop_memo_hits
+from .pack import PackedTasks, WaveSegment, share_resource_tracker
 
 ResynthTask = "tuple[int, int]"  # (truth table, number of leaves)
+
+SHM_MIN_BYTES = 1 << 14
+"""Packed payloads below this ride the pickle path in ``auto`` mode —
+segment setup costs more than pickling a few tables."""
 
 
 def resynthesize_batch(
@@ -48,12 +69,32 @@ def resynthesize_batch(
 def _worker(payload: tuple) -> tuple:
     """Worker body: ``(entries, error, snapshot)`` for one chunk.
 
+    Two payload shapes, discriminated by the leading tag:
+
+    * ``("pickle", params, chunk, want_obs)`` — the chunk's tasks travel
+      pickled inside the message;
+    * ``("shm", params, descriptor, start, stop, want_obs)`` — the tasks
+      live in a shared-memory wave segment; the worker attaches it,
+      rebuilds exactly its ``[start, stop)`` slice, and closes the
+      mapping before resynthesizing.
+
     Errors are contained per chunk (``entries is None`` + the formatted
     error; the parent recomputes that chunk in-process), and the metrics
     snapshot rides along only when the parent asked for one and the
     chunk succeeded.
     """
-    params, chunk, want_obs = payload
+    if payload[0] == "shm":
+        _tag, params, descriptor, start, stop, want_obs = payload
+        try:
+            segment = WaveSegment.attach(descriptor)
+            try:
+                chunk = segment.packed().tasks(start, stop)
+            finally:
+                segment.close()
+        except Exception as error:
+            return (None, f"{type(error).__name__}: {error}", None)
+    else:
+        _tag, params, chunk, want_obs = payload
     t0 = time.perf_counter()
     memo0 = isop_memo_hits()
     try:
@@ -79,13 +120,28 @@ def _chunked(tasks: list, n_chunks: int) -> list[list]:
 
 
 class ResynthExecutor:
-    """Chunked resynthesis executor over a persistent process pool."""
+    """Chunked resynthesis executor over a persistent process pool.
 
-    def __init__(self, workers: int, params: RefactorParams) -> None:
+    ``transport`` selects how task payloads reach workers: ``"shm"``
+    (shared-memory wave segments), ``"pickle"`` (tasks inside the chunk
+    messages), or ``"auto"`` (shm when the pool forks and the wave is
+    big enough, pickle otherwise).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        params: RefactorParams,
+        transport: str = "auto",
+    ) -> None:
+        if transport not in ("auto", "shm", "pickle"):
+            raise ReproError(f"unknown transport {transport!r}")
         self.workers = max(1, workers)
         self.params = params
+        self.transport = transport
         self._pool = None
         self._pool_broken = False
+        self._pool_is_fork = False
 
     @property
     def in_process(self) -> bool:
@@ -126,12 +182,21 @@ class ResynthExecutor:
         # load-balanced when task costs are skewed.
         chunks = _chunked(tasks, self.workers * 4)
         want_obs = obs.enabled()
+        payloads, segment = self._build_payloads(tasks, chunks, want_obs)
         try:
-            raw = pool.map(_worker, [(self.params, chunk, want_obs) for chunk in chunks])
-        except Exception:
-            self._teardown()
-            self._pool_broken = True
-            return resynthesize_batch(tasks, self.params)
+            try:
+                raw = pool.map(_worker, payloads)
+            except Exception:
+                self._teardown()
+                self._pool_broken = True
+                return resynthesize_batch(tasks, self.params)
+        finally:
+            if segment is not None:
+                # One-dispatch lifecycle: the wave's segment never
+                # outlives its pool.map, crash paths included.
+                segment.close()
+                segment.unlink()
+                obs.counter("engine_shm_segments_unlinked_total").add(1)
         results: list[tuple] = []
         for chunk, (entries, error, snapshot) in zip(chunks, raw):
             if entries is None:
@@ -145,6 +210,51 @@ class ResynthExecutor:
                 obs.merge_worker_snapshot(snapshot)
             results.extend(entries)
         return results
+
+    def _build_payloads(
+        self,
+        tasks: list[tuple[int, int]],
+        chunks: list[list[tuple[int, int]]],
+        want_obs: bool,
+    ):
+        """Chunk payloads plus the owning segment (None on the pickle path)."""
+        if self.transport != "pickle" and self._pool_is_fork:
+            packed = PackedTasks.pack(tasks)
+            if self.transport == "shm" or packed.nbytes >= SHM_MIN_BYTES:
+                try:
+                    segment = WaveSegment.create(packed)
+                except Exception:  # pragma: no cover - /dev/shm exhaustion
+                    obs.counter("engine_shm_fallbacks_total").add(1)
+                else:
+                    obs.counter("engine_shm_segments_created_total").add(1)
+                    obs.counter("engine_shm_segment_bytes_total").add(segment.nbytes)
+                    descriptor = segment.descriptor()
+                    payloads = []
+                    start = 0
+                    for chunk in chunks:
+                        stop = start + len(chunk)
+                        payloads.append(
+                            ("shm", self.params, descriptor, start, stop, want_obs)
+                        )
+                        start = stop
+                    # Serialized volume = what actually crosses the pipe:
+                    # descriptor-range messages, not the segment (which is
+                    # written once and mapped zero-copy by workers).
+                    obs.counter("engine_task_bytes_total", transport="shm").add(
+                        sum(len(pickle.dumps(p)) for p in payloads)
+                    )
+                    return payloads, segment
+        elif self.transport == "shm":
+            # Pinned shm on a non-forking pool: honor the pin as a
+            # counted fallback rather than undefined tracker behaviour.
+            obs.counter("engine_shm_fallbacks_total").add(1)
+        payloads = [
+            ("pickle", self.params, chunk, want_obs) for chunk in chunks
+        ]
+        obs.counter("engine_task_bytes_total", transport="pickle").add(
+            sum(len(pickle.dumps(p)) for p in payloads)
+        )
+        return payloads, None
 
     def close(self) -> None:
         self._teardown()
@@ -160,11 +270,17 @@ class ResynthExecutor:
             try:
                 if "fork" in mp.get_all_start_methods():
                     context = mp.get_context("fork")
+                    self._pool_is_fork = True
+                    # Workers must inherit the parent's resource tracker
+                    # for shm segment accounting to collapse cleanly.
+                    share_resource_tracker()
                 else:  # pragma: no cover - non-POSIX platforms
                     context = mp.get_context()
+                    self._pool_is_fork = False
                 self._pool = context.Pool(self.workers)
             except (OSError, ValueError):  # pragma: no cover - sandboxed envs
                 self._pool_broken = True
+                self._pool_is_fork = False
         return self._pool
 
     def _teardown(self) -> None:

@@ -92,6 +92,9 @@ class EngineParams:
     elf_batched: bool = True
     executor: "ResynthExecutor | None" = None
     resynth_cache: "ResynthCache | None" = None
+    # Task transport of a pass-owned executor: "auto" | "shm" | "pickle"
+    # (see ResynthExecutor; an external ``executor`` keeps its own).
+    transport: str = "auto"
 
     def resolved_workers(self) -> int:
         if self.executor is not None:
@@ -214,7 +217,7 @@ def engine_refactor(
     executor = params.executor
     own_executor = executor is None
     if own_executor:
-        executor = ResynthExecutor(workers, params.refactor)
+        executor = ResynthExecutor(workers, params.refactor, transport=params.transport)
     op = RefactorWaveOp(
         params.refactor,
         base_cache.npn_view(),

@@ -53,12 +53,12 @@ def most_frequent_literal(cubes: list[int]) -> tuple[int, int]:
     """``(literal index, count)`` of the most frequent literal (ties: lowest
     index); ``(-1, 0)`` for an empty or literal-free SOP."""
     freq = sop_literal_frequencies(cubes)
-    if not freq:
-        return -1, 0
     best_lit, best_count = -1, 0
-    for lit in sorted(freq):
-        if freq[lit] > best_count:
-            best_lit, best_count = lit, freq[lit]
+    # Single unsorted sweep; the tie rule (max count, then lowest index)
+    # is enforced directly instead of via a sorted ascending scan.
+    for lit, count in freq.items():
+        if count > best_count or (count == best_count and lit < best_lit):
+            best_lit, best_count = lit, count
     return best_lit, best_count
 
 
@@ -71,16 +71,16 @@ def quick_divisor(cubes: list[int]) -> list[int] | None:
     """
     if len(cubes) <= 1:
         return None
+    # The first loop iteration sees ``kernel == cubes``, so the entry
+    # check doubles as its frequency scan — one pass, not two.
     lit, count = most_frequent_literal(cubes)
     if count < 2:
         return None
     kernel = list(cubes)
-    while True:
-        lit, count = most_frequent_literal(kernel)
-        if count < 2:
-            break
+    while count >= 2:
         kernel, _remainder = divide_by_literal(kernel, lit)
         _common, kernel = sop_make_cube_free(kernel)
+        lit, count = most_frequent_literal(kernel)
     if not kernel or kernel == list(cubes):
         return None
     return kernel

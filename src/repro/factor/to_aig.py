@@ -153,6 +153,15 @@ class _TreeWalker:
 
     def _balanced(self, descriptors: list[int], invert: bool) -> int:
         """AND the descriptors pairwise, cheapest levels first."""
+        # Two-child nodes dominate factored forms; replicate the heap's
+        # selection (level, then position) without building one.
+        if len(descriptors) == 2:
+            d0, d1 = descriptors
+            if self.level(d0) <= self.level(d1):
+                result = self._and(d0, d1)
+            else:
+                result = self._and(d1, d0)
+            return _descriptor_not(result) if invert else result
         heap = [(self.level(d), i, d) for i, d in enumerate(descriptors)]
         heapq.heapify(heap)
         tiebreak = len(heap)

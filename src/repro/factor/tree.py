@@ -21,6 +21,15 @@ KIND_OR = "or"
 KIND_CONST0 = "const0"
 KIND_CONST1 = "const1"
 
+# Shared immutable instances: literal nodes by (var, negative), and the
+# AND tree of each cube bitmask (cubes repeat heavily across the SOPs of
+# one circuit).  Both caches only ever hold frozen trees, so sharing is
+# invisible except in construction cost; the cube cache is capped like
+# the ISOP memo (cleared, not LRU).
+_LIT_CACHE: dict[tuple[int, bool], "FactorTree"] = {}
+_CUBE_CACHE: dict[int, "FactorTree"] = {}
+_CUBE_CACHE_LIMIT = 1 << 16
+
 
 @dataclass(frozen=True)
 class FactorTree:
@@ -30,12 +39,23 @@ class FactorTree:
     var: int = -1
     negative: bool = False
     children: tuple["FactorTree", ...] = field(default_factory=tuple)
+    # Lazily-computed literal count (-1 = not yet computed); excluded
+    # from equality/hash/repr so the dataclass semantics are unchanged.
+    _n_lits: int = field(default=-1, compare=False, repr=False)
 
     # -- constructors ---------------------------------------------------
 
     @staticmethod
     def lit(var: int, negative: bool = False) -> "FactorTree":
-        return FactorTree(KIND_LIT, var=var, negative=negative)
+        # Literal nodes are immutable and drawn from a tiny domain
+        # (cut variables x two phases), so the instances are shared:
+        # factoring builds tens of thousands per pass.
+        key = (var, negative)
+        node = _LIT_CACHE.get(key)
+        if node is None:
+            node = FactorTree(KIND_LIT, var=var, negative=negative)
+            _LIT_CACHE[key] = node
+        return node
 
     @staticmethod
     def const0() -> "FactorTree":
@@ -66,10 +86,16 @@ class FactorTree:
     @staticmethod
     def from_cube(cube: int) -> "FactorTree":
         """AND of the cube's literals (empty cube = const 1)."""
-        lits = [
-            FactorTree.lit(lit_var(i), lit_negative(i)) for i in cube_lits(cube)
-        ]
-        return FactorTree.and_(lits)
+        tree = _CUBE_CACHE.get(cube)
+        if tree is None:
+            lits = [
+                FactorTree.lit(lit_var(i), lit_negative(i)) for i in cube_lits(cube)
+            ]
+            tree = FactorTree.and_(lits)
+            if len(_CUBE_CACHE) >= _CUBE_CACHE_LIMIT:  # pragma: no cover - cap
+                _CUBE_CACHE.clear()
+            _CUBE_CACHE[cube] = tree
+        return tree
 
     @staticmethod
     def from_sop(cubes: list[int]) -> "FactorTree":
@@ -79,12 +105,22 @@ class FactorTree:
     # -- queries ---------------------------------------------------------
 
     def n_literals(self) -> int:
-        """Number of literal leaves in the tree (the factoring cost metric)."""
-        if self.kind == KIND_LIT:
-            return 1
-        if self.kind in (KIND_CONST0, KIND_CONST1):
-            return 0
-        return sum(child.n_literals() for child in self.children)
+        """Number of literal leaves in the tree (the factoring cost metric).
+
+        Cached on first call: trees are immutable and heavily shared (see
+        the literal/cube caches above), and factoring compares literal
+        counts after every division step.
+        """
+        n = self._n_lits
+        if n < 0:
+            if self.kind == KIND_LIT:
+                n = 1
+            elif self.kind in (KIND_CONST0, KIND_CONST1):
+                n = 0
+            else:
+                n = sum(child.n_literals() for child in self.children)
+            object.__setattr__(self, "_n_lits", n)
+        return n
 
     def support(self) -> set[int]:
         if self.kind == KIND_LIT:

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from itertools import permutations
 
+import numpy as np
+
 from ..errors import TruthTableError
 
 N_VARS = 4
@@ -47,6 +49,24 @@ def _build_index_tables() -> dict[tuple[tuple[int, ...], int], list[int]]:
 
 _INDEX: dict[tuple[tuple[int, ...], int], list[int]] = _build_index_tables()
 _ALL_PERMS: list[tuple[int, ...]] = list(permutations(range(N_VARS)))
+
+# The same 384 index tables as one (384, 16) matrix, rows in the exact
+# (perm-major, flips-minor) order the scalar loops iterate — the
+# vectorized canonizer's argmin therefore lands on the same transform
+# the scalar first-strict-minimum scan would pick.
+_INDEX_MATRIX: np.ndarray = np.array(
+    [_INDEX[(perm, flips)] for perm in _ALL_PERMS for flips in range(N_MINTERMS)],
+    dtype=np.uint32,
+)
+_POW2: np.ndarray = (np.uint32(1) << np.arange(N_MINTERMS, dtype=np.uint32)).astype(
+    np.uint32
+)
+
+
+def _transform_values(tt: int) -> np.ndarray:
+    """All 384 permute+input-flip images of ``tt`` as a uint32 vector."""
+    bits = (np.uint32(tt) >> _INDEX_MATRIX) & np.uint32(1)
+    return bits @ _POW2
 
 
 def apply_transform(tt: int, transform: Transform) -> int:
@@ -81,7 +101,35 @@ def invert_transform(transform: Transform) -> Transform:
 
 def npn_canonize(tt: int) -> tuple[int, Transform]:
     """Canonical table of ``tt`` and the transform with
-    ``apply_transform(canonical, transform) == tt``."""
+    ``apply_transform(canonical, transform) == tt``.
+
+    One numpy sweep over all 768 transforms: the 384 permute+flip images
+    come from a gather against the precomputed index matrix, both output
+    phases are laid out in the scalar scan's iteration order, and the
+    first minimum (``argmin``) is the canonical pick.  Bit-identical to
+    :func:`npn_canonize_scalar`, which `tests/test_kernel_parity.py`
+    pins it against.
+    """
+    if not 0 <= tt <= _FULL:
+        raise TruthTableError("npn_canonize expects a 16-bit truth table")
+    values = _transform_values(tt)
+    # Interleave output_flip False/True per (perm, flips) row so the flat
+    # index order matches the scalar loop nest exactly.
+    both = np.empty((values.size, 2), dtype=np.uint32)
+    both[:, 0] = values
+    both[:, 1] = values ^ np.uint32(_FULL)
+    flat = both.reshape(-1)
+    pick = int(np.argmin(flat))  # first occurrence of the minimum
+    best = int(flat[pick])
+    row, output_flip = divmod(pick, 2)
+    perm = _ALL_PERMS[row // N_MINTERMS]
+    flips = row % N_MINTERMS
+    return best, invert_transform((perm, flips, bool(output_flip)))
+
+
+def npn_canonize_scalar(tt: int) -> tuple[int, Transform]:
+    """Reference scalar canonizer (kept as the parity oracle for the
+    vectorized :func:`npn_canonize`)."""
     if not 0 <= tt <= _FULL:
         raise TruthTableError("npn_canonize expects a 16-bit truth table")
     best = None
@@ -104,17 +152,8 @@ def npn_canonize(tt: int) -> tuple[int, Transform]:
 
 def npn_orbit(tt: int) -> set[int]:
     """All 16-bit tables NPN-equivalent to ``tt``."""
-    orbit = set()
-    for perm in _ALL_PERMS:
-        for flips in range(N_MINTERMS):
-            index = _INDEX[(perm, flips)]
-            candidate = 0
-            for v in range(N_MINTERMS):
-                if tt >> index[v] & 1:
-                    candidate |= 1 << v
-            orbit.add(candidate)
-            orbit.add(candidate ^ _FULL)
-    return orbit
+    values = _transform_values(tt)
+    return set(values.tolist()) | set((values ^ np.uint32(_FULL)).tolist())
 
 
 def enumerate_npn_classes() -> list[int]:

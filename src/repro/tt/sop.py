@@ -79,16 +79,34 @@ def sop_literal_count(cubes: list[int]) -> int:
     return sum(cube_size(c) for c in cubes)
 
 
+# Internal cube -> literal-list cache for the frequency scan (the
+# divisor search recounts frequencies after every division step, and the
+# same cubes recur across steps and SOPs).  The lists never escape this
+# module, so sharing is safe; capped like the ISOP memo (cleared, not
+# LRU).
+_CUBE_LITS: dict[int, list[int]] = {}
+_CUBE_LITS_LIMIT = 1 << 16
+
+
 def sop_literal_frequencies(cubes: list[int]) -> dict[int, int]:
     """Occurrence count of every literal index present in the SOP."""
     freq: dict[int, int] = {}
     get = freq.get
+    lits_get = _CUBE_LITS.get
     for cube in cubes:
-        while cube:
-            low = cube & -cube
-            lit = low.bit_length() - 1
+        lits = lits_get(cube)
+        if lits is None:
+            lits = []
+            rest = cube
+            while rest:
+                low = rest & -rest
+                lits.append(low.bit_length() - 1)
+                rest ^= low
+            if len(_CUBE_LITS) >= _CUBE_LITS_LIMIT:  # pragma: no cover - cap
+                _CUBE_LITS.clear()
+            _CUBE_LITS[cube] = lits
+        for lit in lits:
             freq[lit] = get(lit, 0) + 1
-            cube ^= low
     return freq
 
 
@@ -96,7 +114,12 @@ def sop_common_cube(cubes: list[int]) -> int:
     """Largest cube dividing every cube of the SOP (its common literals)."""
     if not cubes:
         return 0
-    return reduce(lambda a, b: a & b, cubes)
+    common = cubes[0]
+    for cube in cubes:
+        common &= cube
+        if not common:
+            break
+    return common
 
 
 def sop_is_cube_free(cubes: list[int]) -> bool:
@@ -107,6 +130,8 @@ def sop_is_cube_free(cubes: list[int]) -> bool:
 def sop_make_cube_free(cubes: list[int]) -> tuple[int, list[int]]:
     """Split the SOP into (common cube, cube-free remainder)."""
     common = sop_common_cube(cubes)
+    if common == 0:
+        return 0, list(cubes)
     return common, [c & ~common for c in cubes]
 
 

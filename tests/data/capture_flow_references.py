@@ -40,6 +40,9 @@ FLOWS = {
     "resyn2": (RESYN2, False),
     "compress2": (COMPRESS2, False),
     "engine": ("pf -w 1; prw -w 1; pelf -w 1", True),
+    # Bare sequential operators (no balance steps): the tightest pin on
+    # the truth/ISOP/factoring kernels the engine and resyn2 both share.
+    "sequential": ("rf; rw; rfz; rwz", False),
 }
 
 

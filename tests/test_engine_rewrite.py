@@ -127,6 +127,7 @@ class TestWaveRewrite:
         with pytest.raises(ReproError):
             run_flow(g, "prw -w")
 
+    @pytest.mark.slow
     def test_acceptance_layered_5k_workers_2(self):
         """Acceptance: on layered-5k, ``prw`` at w=2 is CEC-clean and its
         AND count lands within ±1.5% of the sequential ``rw`` sweep."""

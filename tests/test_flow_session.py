@@ -68,7 +68,7 @@ class TestCapturedReferences:
         ), "reference input drifted; regenerate flow_references.json"
         return g
 
-    @pytest.mark.parametrize("tag", ["resyn2", "compress2", "engine"])
+    @pytest.mark.parametrize("tag", ["resyn2", "compress2", "engine", "sequential"])
     def test_flow_matches_reference(self, tag, graph, references):
         record = references["flows"][tag]
         classifier = reference_classifier() if tag == "engine" else None
