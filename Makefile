@@ -3,9 +3,9 @@
 
 PYTHON ?= python
 
-.PHONY: test test-fast docs-check lint-timing trace-demo bench bench-rw bench-mp bench-serve bench-all profile clean
+.PHONY: test test-fast test-faults docs-check lint-timing lint-faults trace-demo bench bench-rw bench-mp bench-serve bench-all bench-faults profile clean
 
-test: docs-check lint-timing
+test: docs-check lint-timing lint-faults
 	$(PYTHON) -m pytest -x -q
 
 test-fast:
@@ -23,6 +23,19 @@ docs-check:
 # the obs span API or the monotonic clocks it is built on.
 lint-timing:
 	$(PYTHON) tools/lint_timing.py
+
+# Failure-path discipline: a broad `except Exception` under
+# src/repro/{engine,serve} must re-raise, increment a metric, or carry
+# an explicit `# lint-faults:` justification (docs/robustness.md).
+lint-faults:
+	$(PYTHON) tools/lint_faults.py
+
+# Resilience battery: worker-death recovery, deadlines, degradation
+# ladder and the deterministic fault-injection harness.  Individual
+# faults can also be forced by hand, e.g.
+#   REPRO_FAULTS="worker.chunk=kill#chunk=0" PYTHONPATH=src python ...
+test-faults:
+	$(PYTHON) -m pytest tests/test_resilience.py -x -q
 
 # Observability demo: runs a parallel flow with tracing on and writes
 # Chrome-trace / JSONL / Prometheus exports under benchmarks/results/.
@@ -46,6 +59,12 @@ bench-rw:
 # cpu_count) into BENCH_engine.json.
 bench-mp:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_transport.py
+
+# Idle fault-injection overhead: a REPRO_FAULTS plan armed at every
+# site but never triggering vs no plan, on the layered-5k refactor run.
+# Merges the faults-idle rows into BENCH_engine.json (<1% contract).
+bench-faults:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_scaling.py faults
 
 # resyn2 runtime profile (refactor's share of the flow, paper SS II).
 profile:

@@ -63,6 +63,11 @@ class WaveOperator:
 
     name = "wave"
     wants_features = False
+    # Set by run_wave_pass before the wave loop: the pass's latency
+    # budget (or None).  Operators whose ``evaluate`` blocks — pooled
+    # resynthesis, chiefly — bound their waits on it so a dead worker
+    # cannot stall past the budget.
+    deadline = None
 
     def prepare(self, g: AIG, stats) -> None:
         """Pass-level setup on the intact graph (cut enumeration, levels)."""
@@ -202,7 +207,7 @@ class RefactorWaveOp(WaveOperator):
         if todo:
             pooled = self.executor.will_pool(len(todo))
             t0 = time.perf_counter()
-            for key, entry in zip(todo, self.executor.run(todo)):
+            for key, entry in zip(todo, self.executor.run(todo, deadline=self.deadline)):
                 self.cache[key] = entry
                 entries[key] = entry
             elapsed = time.perf_counter() - t0

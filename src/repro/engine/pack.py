@@ -182,6 +182,30 @@ class WaveSegment:
         return leaves, words
 
 
+def unlink_by_name(name: str) -> bool:
+    """Best-effort unlink of a segment by name (crash-sweep helper).
+
+    The executor records every segment name it creates and normally
+    retires them inside the dispatch ``finally``; this helper is the
+    second line of defense — :meth:`ResynthExecutor.close` sweeps any
+    name still registered after a failure path that never reached the
+    ``finally`` (e.g. the parent interrupted mid-recovery).  Returns
+    True when a live segment was actually unlinked.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    except OSError:  # pragma: no cover - platform-specific attach errors
+        return False
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced another unlink
+        return False
+    return True
+
+
 def leaked_segments(prefix: str = "psm_") -> list[str]:
     """Names of live ``/dev/shm`` segments with the stdlib prefix.
 

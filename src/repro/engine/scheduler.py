@@ -49,12 +49,14 @@ from dataclasses import dataclass, field
 from .. import obs
 from ..aig.graph import AIG
 from ..cuts.features import stack_features
+from ..errors import DeadlineExceeded
 from ..opt.refactor import (
     RefactorParams,
     RefactorStats,
     refactor,
 )
 from ..opt.rewrite import RewriteParams, RewriteStats, rewrite
+from ..resilience import Deadline, policy
 from .cache import ResynthCache
 from .conflict import Candidate, CandidateIndex, build_conflict_graph, color_waves
 from .operators import RefactorWaveOp, RewriteWaveOp, WaveOperator
@@ -95,6 +97,11 @@ class EngineParams:
     # Task transport of a pass-owned executor: "auto" | "shm" | "pickle"
     # (see ResynthExecutor; an external ``executor`` keeps its own).
     transport: str = "auto"
+    # Latency budget for this pass: checked at wave boundaries and bound
+    # onto every pooled chunk wait; expiry raises DeadlineExceeded with
+    # the graph left at a consistent committed prefix (commits are
+    # serial, so there is no torn state to roll back).
+    deadline: "Deadline | None" = None
 
     def resolved_workers(self) -> int:
         if self.executor is not None:
@@ -129,6 +136,8 @@ class RewriteEngineParams:
     executor: "ResynthExecutor | None" = None
     resynth_cache: "ResynthCache | None" = None
     library: object | None = None
+    # Same wave-boundary latency budget as EngineParams.deadline.
+    deadline: "Deadline | None" = None
 
     def resolved_workers(self) -> int:
         if self.executor is not None:
@@ -205,6 +214,10 @@ def engine_refactor(
     params = params or EngineParams()
     workers = params.resolved_workers()
     if workers <= 1:
+        # The sequential delegation has no wave boundaries to check at;
+        # an already-expired budget still refuses to start the pass.
+        if params.deadline is not None:
+            params.deadline.check("engine.pass")
         with obs.span("engine.pass", operator="refactor", workers=1, delegated=True):
             stats = _delegate_sequential(g, params, classifier)
         _record_pass_metrics(stats)
@@ -225,7 +238,7 @@ def engine_refactor(
         want_features=classifier is not None,
     )
     try:
-        run_wave_pass(g, op, stats, classifier=classifier)
+        run_wave_pass(g, op, stats, classifier=classifier, deadline=params.deadline)
     finally:
         if own_executor:
             executor.close()
@@ -248,6 +261,8 @@ def engine_rewrite(
     params = params or RewriteEngineParams()
     workers = params.resolved_workers()
     if workers <= 1:
+        if params.deadline is not None:
+            params.deadline.check("engine.pass")
         with obs.span("engine.pass", operator="rewrite", workers=1, delegated=True):
             stats = _delegate_sequential_rewrite(g, params)
         _record_pass_metrics(stats)
@@ -261,7 +276,7 @@ def engine_rewrite(
     if library is None:  # NB: a fresh library is empty and therefore falsy
         library = default_library()
     op = RewriteWaveOp(params.rewrite, base_cache, library)
-    run_wave_pass(g, op, stats, classifier=None)
+    run_wave_pass(g, op, stats, classifier=None, deadline=params.deadline)
     return stats
 
 
@@ -313,6 +328,7 @@ def run_wave_pass(
     op: WaveOperator,
     stats: EngineStats,
     classifier=None,
+    deadline: "Deadline | None" = None,
 ) -> EngineStats:
     """Run one generic wave pass of ``op`` over ``g`` in place.
 
@@ -323,6 +339,14 @@ def run_wave_pass(
     the rest.  ``stats`` is the caller-constructed :class:`EngineStats`
     (mutated in place and returned).
 
+    ``deadline`` bounds the pass: it is checked before every wave (and
+    repair round), handed to the operator (``op.deadline``) so pooled
+    evaluation bounds its chunk waits, and expiry raises
+    :class:`repro.errors.DeadlineExceeded` **after** the operator's
+    ``finish`` hook and the pass metrics run — commits are serial, so
+    the graph is always a consistent, CEC-verifiable prefix of the full
+    pass at that point (counted ``engine_deadline_exceeded_total``).
+
     Every phase is bracketed by a :mod:`repro.obs` span (one pass span,
     ``engine.snapshot`` / ``engine.conflict`` children, one
     ``engine.wave`` child per executed wave with per-phase grandchildren)
@@ -330,6 +354,8 @@ def run_wave_pass(
     enabled, a Chrome-trace timeline and the stats report can never
     disagree, because they are the same measurements.
     """
+    op.deadline = deadline
+    exceeded: DeadlineExceeded | None = None
     with obs.span(
         "engine.pass", operator=stats.operator, workers=stats.workers
     ) as pass_span:
@@ -362,36 +388,46 @@ def run_wave_pass(
         g.drain_dirty()
         pending = set(range(len(candidates)))
         stale: set[int] = set()  # invalidated, not yet re-snapshotted
-        for wave in wave_queue:
-            members = [i for i in wave if i in pending]
-            repair = False
-            while members:
-                stats.n_waves += 1
-                if repair:
-                    stats.n_repair_waves += 1
-                with obs.span(
-                    "engine.wave",
-                    wave=stats.n_waves - 1,
-                    repair=repair,
-                    members=len(members),
-                ) as wave_span:
-                    deferred = _run_wave(
-                        g,
-                        op,
-                        members,
-                        candidates,
-                        index,
-                        classifier,
-                        stats,
-                        pending,
-                        stale,
-                    )
-                    wave_span.set(deferred=len(deferred))
-                # Members invalidated mid-wave split off into a repair
-                # wave that runs immediately, preserving the sequential
-                # sweep's node-order locality.
-                members = sorted(i for i in deferred if i in pending)
-                repair = True
+        try:
+            for wave in wave_queue:
+                members = [i for i in wave if i in pending]
+                repair = False
+                while members:
+                    if deadline is not None:
+                        deadline.check("engine.wave")
+                    stats.n_waves += 1
+                    if repair:
+                        stats.n_repair_waves += 1
+                    with obs.span(
+                        "engine.wave",
+                        wave=stats.n_waves - 1,
+                        repair=repair,
+                        members=len(members),
+                    ) as wave_span:
+                        deferred = _run_wave(
+                            g,
+                            op,
+                            members,
+                            candidates,
+                            index,
+                            classifier,
+                            stats,
+                            pending,
+                            stale,
+                        )
+                        wave_span.set(deferred=len(deferred))
+                    # Members invalidated mid-wave split off into a repair
+                    # wave that runs immediately, preserving the sequential
+                    # sweep's node-order locality.
+                    members = sorted(i for i in deferred if i in pending)
+                    repair = True
+        except DeadlineExceeded as error:
+            # Wave-boundary expiry, or a bounded chunk wait inside the
+            # executor.  Evaluation runs before any of its wave's commits
+            # and commits are serial, so the graph holds exactly the
+            # waves committed so far — finish the pass bookkeeping, then
+            # re-raise below (outside the spans) for the caller.
+            exceeded = error
         op.finish(stats)
         pass_span.set(
             n_candidates=stats.n_candidates,
@@ -407,6 +443,9 @@ def run_wave_pass(
         )
     stats.time_total = pass_span.duration
     _record_pass_metrics(stats)
+    if exceeded is not None:
+        policy.record_deadline("engine")
+        raise exceeded
     return stats
 
 

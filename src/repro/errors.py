@@ -31,3 +31,50 @@ class TrainingError(ReproError):
 
 class SatError(ReproError):
     """Malformed CNF or solver misuse."""
+
+
+class RetryableError(ReproError):
+    """A failure the resilience layer may retry (transient by contract).
+
+    Raising one of these tells the recovery machinery that repeating the
+    operation — possibly after a backoff, a pool respawn, or a transport
+    downgrade — is expected to succeed; see
+    :mod:`repro.resilience.policy` for how retry budgets are spent.
+    """
+
+
+class FatalError(ReproError):
+    """A failure no retry can fix (misconfiguration, corrupted state).
+
+    The resilience layer never retries these: they propagate to the
+    caller immediately, bypassing the degradation ladder.
+    """
+
+
+class WorkerCrashError(RetryableError):
+    """A pool worker died (OOM/SIGKILL) or hung past its chunk deadline.
+
+    Raised by :class:`repro.engine.parallel.ResynthExecutor` only after
+    the retry budget is exhausted *and* in-process degradation is
+    impossible; during recovery the crash is counted
+    (``engine_worker_deaths_total``) and handled internally.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """A latency budget (:class:`repro.resilience.Deadline`) expired.
+
+    Carries the best consistent result committed before expiry: waves
+    commit serially, so ``partial`` — when set by the flow layer — is a
+    valid, CEC-verifiable AIG reflecting every completed commit, and
+    ``report`` covers the flow steps that finished.  ``site`` names the
+    checkpoint that observed the expiry (``"flow.command"``,
+    ``"engine.wave"``, ``"executor.chunk"``, ...).
+    """
+
+    def __init__(self, message: str = "deadline exceeded", site: str = "",
+                 partial=None, report=None) -> None:
+        super().__init__(message)
+        self.site = site
+        self.partial = partial  # best valid AIG committed so far (or None)
+        self.report = report  # FlowReport of the completed prefix (or None)

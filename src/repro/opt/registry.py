@@ -287,6 +287,7 @@ def _make_engine_refactor(elf: bool):
                 workers=workers,
                 executor=executor,
                 resynth_cache=ctx.resynth_cache,
+                deadline=ctx.deadline,
             ),
             classifier=ctx.classifier if elf else None,
         )
@@ -312,6 +313,7 @@ def _exec_engine_rewrite(g, ctx, flags):
             executor=executor,
             resynth_cache=ctx.resynth_cache,
             library=ctx.npn_library,
+            deadline=ctx.deadline,
         ),
     )
     return g, stats

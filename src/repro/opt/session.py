@@ -34,7 +34,7 @@ from dataclasses import dataclass
 
 from .. import obs
 from ..aig.graph import AIG
-from ..errors import ReproError
+from ..errors import DeadlineExceeded, ReproError
 from .flow import FlowReport, FlowStep
 from .refactor import RefactorParams
 from .registry import CommandFlags, CommandRegistry, ResolvedCommand, default_registry
@@ -128,9 +128,10 @@ class FlowContext:
     while delegating every shared resource to the owning session.
     """
 
-    def __init__(self, session: "OptSession", classifier) -> None:
+    def __init__(self, session: "OptSession", classifier, deadline=None) -> None:
         self.session = session
         self.classifier = classifier
+        self.deadline = deadline  # the run's latency budget (or None)
         self.command = ""  # raw spelling of the step being executed
         self.executor_dropped = False  # set when a shared pool is discarded
         self._run_cache = None  # lazily created under per_run_cache
@@ -349,7 +350,9 @@ class OptSession:
 
     # -- execution ------------------------------------------------------------
 
-    def run(self, g: AIG, script: str, classifier=None) -> tuple[AIG, FlowReport]:
+    def run(
+        self, g: AIG, script: str, classifier=None, deadline=None
+    ) -> tuple[AIG, FlowReport]:
         """Execute a ``;``-separated script on ``g``; returns (g, report).
 
         Empty commands (``;;``, stray whitespace) are skipped.  Each
@@ -359,54 +362,76 @@ class OptSession:
         ``classifier`` overrides the session default for this run only
         (the serving layer runs per-circuit fused clients through one
         shard session this way).
+
+        ``deadline`` (a :class:`repro.resilience.Deadline`) bounds the
+        whole run: it is checked between steps and threaded into every
+        engine command, so expiry anywhere raises
+        :class:`repro.errors.DeadlineExceeded` with ``partial`` set to
+        the best network committed so far (steps complete serially and
+        engine commits are serial, so the partial is always a
+        consistent, CEC-verifiable prefix of the full flow) and
+        ``report`` covering the completed steps.
         """
         if self._closed:
             raise ReproError("OptSession is closed")
-        ctx = FlowContext(self, classifier if classifier is not None else self.classifier)
+        ctx = FlowContext(
+            self,
+            classifier if classifier is not None else self.classifier,
+            deadline=deadline,
+        )
         report = FlowReport(script=script)
         with self._lock:  # shard sessions run circuits concurrently
             self.stats.record_run()
         metrics = obs.metrics()
         with obs.span("flow.run", script=script, session=self.stats.label) as run_span:
-            for raw in script.split(";"):
-                command = raw.strip()
-                if not command:
-                    continue
-                resolved = self.registry.resolve(command)
-                self._check_resources(resolved, ctx)
-                ctx.command = command
-                ctx.executor_dropped = False
-                with self._lock:
-                    self.stats.record_command()
-                ands_before = g.n_ands
-                # The per-command span both feeds the trace timeline and
-                # *is* the step timing (FlowStep.runtime and therefore
-                # FlowReport.runtime_of read its duration) — one clock
-                # for reports and telemetry.
-                with obs.span(
-                    "flow.command", command=command, normalized=resolved.canonical
-                ) as step_span:
-                    g, detail = resolved.spec.execute(g, ctx, resolved.flags)
-                    step_span.set(n_ands=g.n_ands)
-                head = resolved.head
-                metrics.counter("flow_commands_total", command=head).add(1)
-                metrics.histogram("flow_command_seconds", command=head).observe(
-                    step_span.duration
-                )
-                metrics.counter("flow_command_and_delta_total", command=head).add(
-                    abs(g.n_ands - ands_before)
-                )
-                report.steps.append(
-                    FlowStep(
-                        command=command,
-                        runtime=step_span.duration,
-                        n_ands=g.n_ands,
-                        level=g.max_level(),
-                        detail=detail,
-                        normalized=resolved.canonical,
-                        executor_dropped=ctx.executor_dropped,
+            try:
+                for raw in script.split(";"):
+                    command = raw.strip()
+                    if not command:
+                        continue
+                    if deadline is not None:
+                        deadline.check("flow.command")
+                    resolved = self.registry.resolve(command)
+                    self._check_resources(resolved, ctx)
+                    ctx.command = command
+                    ctx.executor_dropped = False
+                    with self._lock:
+                        self.stats.record_command()
+                    ands_before = g.n_ands
+                    # The per-command span both feeds the trace timeline and
+                    # *is* the step timing (FlowStep.runtime and therefore
+                    # FlowReport.runtime_of read its duration) — one clock
+                    # for reports and telemetry.
+                    with obs.span(
+                        "flow.command", command=command, normalized=resolved.canonical
+                    ) as step_span:
+                        g, detail = resolved.spec.execute(g, ctx, resolved.flags)
+                        step_span.set(n_ands=g.n_ands)
+                    head = resolved.head
+                    metrics.counter("flow_commands_total", command=head).add(1)
+                    metrics.histogram("flow_command_seconds", command=head).observe(
+                        step_span.duration
                     )
-                )
+                    metrics.counter("flow_command_and_delta_total", command=head).add(
+                        abs(g.n_ands - ands_before)
+                    )
+                    report.steps.append(
+                        FlowStep(
+                            command=command,
+                            runtime=step_span.duration,
+                            n_ands=g.n_ands,
+                            level=g.max_level(),
+                            detail=detail,
+                            normalized=resolved.canonical,
+                            executor_dropped=ctx.executor_dropped,
+                        )
+                    )
+            except DeadlineExceeded as error:
+                # An interrupted engine pass left ``g`` at its committed
+                # prefix; earlier completed steps are all on the report.
+                error.partial = g
+                error.report = report
+                raise
             run_span.set(steps=len(report.steps), n_ands=g.n_ands)
         return g, report
 

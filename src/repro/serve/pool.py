@@ -47,6 +47,7 @@ import threading
 import numpy as np
 
 from .. import obs
+from ..resilience.faults import fire
 
 
 class FusionStats:
@@ -119,6 +120,13 @@ class SharedClassifierService:
     must deregister (the proxy is a context manager) when its flow ends,
     successfully or not — a vanished client would otherwise stall the
     barrier forever.
+
+    A failed round is survivable: pending state is reset before the
+    inference dispatches, every member of the round receives the error
+    (counted ``serve_classifier_round_failures_total``), and the next
+    complete set of requests fuses normally — one bad round never
+    poisons the shard.  The ``classifier.fire`` fault site
+    (:mod:`repro.resilience.faults`) makes that path testable.
     """
 
     def __init__(self, classifier, names: list[str]) -> None:
@@ -166,15 +174,25 @@ class SharedClassifierService:
             return
         names = sorted(self._pending)
         batches = [self._pending[n] for n in names]
+        # Reset the round's pending state *before* dispatching: whatever
+        # the inference does — raise, or trip a circuit thread into
+        # finishing early — the barrier is already clean for the next
+        # round and no stale request can fuse into it.
+        self._pending.clear()
         try:
+            fire("classifier.fire", round=self.stats.n_calls + 1)
             masks = self.classifier.fused_keep_masks(batches)
             self.stats.record_round(
                 len(batches), sum(int(b.shape[0]) for b in batches)
             )
             self._results.update(zip(names, masks))
         except Exception as error:  # propagate to every waiter, not one
+            # Every member of the failed round gets the error (its
+            # circuit reports it and deregisters); circuits *outside*
+            # the round are untouched and the next complete set of
+            # requests fuses normally.
+            obs.counter("serve_classifier_round_failures_total").add(1)
             self._results.update({n: error for n in names})
-        self._pending.clear()
         self._cond.notify_all()
 
 

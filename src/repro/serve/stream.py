@@ -36,8 +36,10 @@ from typing import Iterator
 from .. import obs
 from ..aig.graph import AIG
 from ..aig.io_bench import to_text
+from ..errors import DeadlineExceeded
 from ..opt.flow import FlowReport
 from ..opt.session import OptSession
+from ..resilience import Deadline, policy
 from .pool import FusionStats, SharedClassifierService, script_requirements
 from .shard import ShardPlan, assign_shards
 
@@ -54,6 +56,15 @@ class ServeParams:
     call (the ablation the occupancy stats are compared against).
     ``keep_graphs=False`` drops result graphs to bound memory on large
     suites (the BENCH text, enough for verification, is always kept).
+
+    ``circuit_timeout_s`` is the per-circuit latency budget: a
+    :class:`repro.resilience.Deadline` threaded through the session into
+    every engine pass and pooled chunk wait, so one pathological circuit
+    (or a hung worker) cannot stall its shard.  A circuit that blows the
+    budget still yields a *valid* result — engine commits are serial, so
+    the best committed prefix is CEC-equivalent to the input — marked
+    ``deadline_exceeded`` and counted ``serve_deadline_exceeded_total``.
+    ``None`` (the default) serves without a budget.
     """
 
     flow: str = "rf"
@@ -61,6 +72,7 @@ class ServeParams:
     workers: int = 1
     fuse_classifier: bool = True
     keep_graphs: bool = True
+    circuit_timeout_s: float | None = None
 
 
 @dataclass
@@ -79,6 +91,9 @@ class ServeResult:
     graph: AIG | None = None
     bench_text: str | None = None
     error: str | None = None
+    # True when the circuit's budget expired: the result then holds the
+    # best committed prefix (valid and CEC-clean), not the full flow.
+    deadline_exceeded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -244,13 +259,18 @@ def _serve_one(
         level_before=g.max_level(),
     )
     client = service.client(name) if service is not None else None
+    deadline = None
+    if params.circuit_timeout_s is not None:
+        deadline = Deadline.after(params.circuit_timeout_s)
     # The span doubles as the latency clock: ``result.runtime`` is its
     # duration, and the registry histogram below is what the throughput
     # benchmark and a Prometheus scrape read.
     span = obs.span("serve.circuit", circuit=name, shard=shard)
     try:
         with span:
-            out, report = session.run(g.clone(), params.flow, classifier=client)
+            out, report = session.run(
+                g.clone(), params.flow, classifier=client, deadline=deadline
+            )
             result.report = report
             result.n_ands = out.n_ands
             result.level = out.max_level()
@@ -258,7 +278,24 @@ def _serve_one(
             if params.keep_graphs:
                 result.graph = out
             span.set(n_ands=out.n_ands)
+    except DeadlineExceeded as error:
+        # The budget expired mid-flow.  The session attached the best
+        # committed prefix — a valid, CEC-clean network — so the circuit
+        # still yields a usable (if less optimized) result.
+        policy.record_deadline("serve")
+        result.deadline_exceeded = True
+        result.report = error.report
+        out = error.partial
+        if out is not None:
+            result.n_ands = out.n_ands
+            result.level = out.max_level()
+            result.bench_text = to_text(out)
+            if params.keep_graphs:
+                result.graph = out
     except Exception as error:
+        obs.counter(
+            "serve_circuit_errors_total", type=type(error).__name__
+        ).add(1)
         result.error = f"{type(error).__name__}: {error}"
     finally:
         if client is not None:

@@ -3,7 +3,8 @@
 Two checks, both cheap enough to run inside the default test target:
 
 1. **Module docstrings.**  Every ``.py`` file under ``src/repro/engine``,
-   ``src/repro/serve`` and ``src/repro/obs`` — plus the individually
+   ``src/repro/serve``, ``src/repro/obs`` and ``src/repro/resilience``
+   — plus the individually
    listed hot-path and API-surface modules (simulation kernels, the rewrite operator, and
    the flow layer: ``opt/flow.py``, ``opt/registry.py``,
    ``opt/session.py``, the ``python -m repro`` entry point) — must
@@ -14,10 +15,11 @@ Two checks, both cheap enough to run inside the default test target:
    ``README.md`` is executed (in one shared namespace, top to bottom, so
    later examples may build on earlier ones).  A README that drifts from
    the API fails the build instead of misleading the next reader.
-3. **Doc cross-links.**  ``docs/observability.md`` must exist, and
-   ``docs/engine.md`` / ``docs/serving.md`` must link to it — the
-   observability page documents *their* instrumentation, so a missing
-   link means one of the pages went stale.
+3. **Doc cross-links.**  ``docs/observability.md`` and
+   ``docs/robustness.md`` must exist, and ``docs/engine.md`` /
+   ``docs/serving.md`` must link to both — those pages document *their*
+   instrumentation and failure handling, so a missing link means one of
+   the pages went stale.
 
 Exit status 0 on success; prints every failure before exiting non-zero.
 """
@@ -30,7 +32,12 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-DOCSTRING_TREES = ("src/repro/engine", "src/repro/serve", "src/repro/obs")
+DOCSTRING_TREES = (
+    "src/repro/engine",
+    "src/repro/serve",
+    "src/repro/obs",
+    "src/repro/resilience",
+)
 DOCSTRING_FILES = (
     "src/repro/aig/simulate.py",
     "src/repro/opt/flow.py",
@@ -97,14 +104,18 @@ def check_readme_examples() -> list[str]:
 
 def check_doc_crosslinks() -> list[str]:
     failures: list[str] = []
-    if not (REPO / "docs" / "observability.md").is_file():
-        failures.append("docs/observability.md: missing")
+    for target in ("observability.md", "robustness.md"):
+        if not (REPO / "docs" / target).is_file():
+            failures.append(f"docs/{target}: missing")
     for name in ("docs/engine.md", "docs/serving.md"):
         path = REPO / name
         if not path.is_file():
             failures.append(f"{name}: missing")
-        elif "observability.md" not in path.read_text(encoding="utf-8"):
-            failures.append(f"{name}: no cross-link to docs/observability.md")
+            continue
+        text = path.read_text(encoding="utf-8")
+        for target in ("observability.md", "robustness.md"):
+            if target not in text:
+                failures.append(f"{name}: no cross-link to docs/{target}")
     return failures
 
 
