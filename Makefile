@@ -3,9 +3,9 @@
 
 PYTHON ?= python
 
-.PHONY: test test-fast test-faults docs-check lint-timing lint-faults trace-demo bench bench-rw bench-mp bench-serve bench-all bench-faults profile clean
+.PHONY: test test-fast test-faults docs-check lint-timing lint-faults trace-demo serve-demo bench bench-rw bench-mp bench-serve bench-all bench-faults profile clean
 
-test: docs-check lint-timing lint-faults
+test: docs-check lint-timing lint-faults serve-demo
 	$(PYTHON) -m pytest -x -q
 
 test-fast:
@@ -19,14 +19,15 @@ docs-check:
 	$(PYTHON) tools/docs_check.py
 
 # Timing discipline: no wall-clock (time.time) timing in instrumented
-# code under src/repro/{engine,opt,serve} — durations must come from
-# the obs span API or the monotonic clocks it is built on.
+# code under src/repro/{engine,opt,serve,resilience} — durations must
+# come from the obs span API or the monotonic clocks it is built on.
 lint-timing:
 	$(PYTHON) tools/lint_timing.py
 
 # Failure-path discipline: a broad `except Exception` under
-# src/repro/{engine,serve} must re-raise, increment a metric, or carry
-# an explicit `# lint-faults:` justification (docs/robustness.md).
+# src/repro/{engine,serve,resilience} must re-raise, increment a
+# metric, or carry an explicit `# lint-faults:` justification
+# (docs/robustness.md).
 lint-faults:
 	$(PYTHON) tools/lint_faults.py
 
@@ -41,6 +42,12 @@ test-faults:
 # Chrome-trace / JSONL / Prometheus exports under benchmarks/results/.
 trace-demo:
 	$(PYTHON) tools/trace_demo.py
+
+# Serving smoke test: boots `python -m repro serve` on a temp socket,
+# optimizes one circuit twice (miss, then byte-identical cache hit),
+# checks the hit counter via stats/metrics, and shuts down.
+serve-demo:
+	$(PYTHON) tools/serve_demo.py
 
 # Engine scaling benchmark (no classifier training needed; writes
 # benchmarks/results/engine_scaling.json, a rendered table, and the

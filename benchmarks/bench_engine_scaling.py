@@ -185,9 +185,15 @@ def merge_bench_records(records: list, cores: int, path: Path | None = None) -> 
     """Merge ``records`` into ``BENCH_engine.json``, preserving the
     records of every operator *not* measured this run — the mechanism
     that lets ``make bench`` / ``make bench-rw`` / ``make bench-faults``
-    maintain one perf trajectory without clobbering each other."""
+    maintain one perf trajectory without clobbering each other.
+
+    Every record is stamped with the ``cpu_count`` it was measured on
+    (kept records missing one are backfilled from their file's top-level
+    ``cores``), so mixed-machine trajectories stay interpretable."""
     target = path or (REPO_ROOT / "BENCH_engine.json")
     measured = {record["operator"] for record in records}
+    for record in records:
+        record.setdefault("cpu_count", cores)
     if target.is_file():
         try:
             previous = json.loads(target.read_text(encoding="utf-8"))
@@ -198,6 +204,8 @@ def merge_bench_records(records: list, cores: int, path: Path | None = None) -> 
             for record in previous.get("records", ())
             if record.get("operator", "refactor") not in measured
         ]
+        for record in kept:
+            record.setdefault("cpu_count", previous.get("cores", cores))
         records = kept + records
     summary = {
         "benchmark": "engine_scaling",

@@ -125,6 +125,11 @@ def merge_bench_summary(payload: dict, path: Path | None = None) -> None:
         for record in summary.get("records", ())
         if record.get("operator", "refactor") != "transport"
     ]
+    # Every record carries the cpu_count it was measured on; kept rows
+    # predating the stamp inherit their file's machine-level count.
+    fallback_count = summary.get("cpu_count", summary.get("cores", payload["cpu_count"]))
+    for record in records:
+        record.setdefault("cpu_count", fallback_count)
     for row in payload["transports"]:
         records.append(
             {
@@ -135,6 +140,7 @@ def merge_bench_summary(payload: dict, path: Path | None = None) -> None:
                 "runtime_s": row["runtime_s"],
                 "task_bytes": row["task_bytes"],
                 "segment_bytes": row["segment_bytes"],
+                "cpu_count": payload["cpu_count"],
             }
         )
     summary.update(

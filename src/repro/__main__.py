@@ -23,6 +23,15 @@ writes the trace on exit — Chrome trace-event JSON (open in
 ``.jsonl``.  ``--metrics FILE`` writes the metrics registry (flow
 command timings, wave/worker counters) in Prometheus text format.
 
+``python -m repro serve --socket PATH`` starts the long-lived
+optimization service instead (:mod:`repro.serve.service`): shard worker
+processes behind a unix-socket JSON-lines protocol, fronted by a
+content-addressed result cache and admission control.  See
+``docs/serving.md`` for the wire protocol and ``--help`` for knobs::
+
+    python -m repro serve --socket /tmp/repro.sock --script "b; rf" \\
+        --shards 4 --queue-limit 32 --metrics serve-metrics.prom
+
 Exit status: 0 on success, 2 for usage/flow errors (unknown command,
 unsupported flag, malformed input).
 """
@@ -99,7 +108,108 @@ def _render_report(report) -> str:
     )
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the long-lived optimization service on a unix socket.",
+    )
+    parser.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="unix domain socket path to listen on",
+    )
+    parser.add_argument(
+        "--script",
+        default="b; rf",
+        help="default flow script served when a request names none "
+        "(default: 'b; rf')",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="shard worker processes (default: 2)",
+    )
+    parser.add_argument(
+        "-w",
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="engine workers per shard session (default: 1, the "
+        "bit-identical sequential mode)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        metavar="N",
+        help="admission bound: optimize requests in flight beyond N are "
+        "rejected typed, not queued (default: 16)",
+    )
+    parser.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        metavar="N",
+        help="content-addressed result cache capacity (LRU, default: 256)",
+    )
+    parser.add_argument(
+        "--engine-cache-entries",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="per-layer LRU bound of each shard's resynthesis caches "
+        "(default: 4096)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-circuit latency budget (default: none)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the metrics registry (Prometheus text) on shutdown",
+    )
+    return parser
+
+
+def serve_main(argv: list[str]) -> int:
+    from .serve.service import ServiceConfig, run_service
+
+    args = build_serve_parser().parse_args(argv)
+    config = ServiceConfig(
+        socket_path=args.socket,
+        script=args.script,
+        n_shards=args.shards,
+        workers=args.workers,
+        max_pending=args.queue_limit,
+        cache_entries=args.cache_entries,
+        engine_cache_entries=args.engine_cache_entries,
+        circuit_timeout_s=args.timeout,
+        metrics_path=args.metrics,
+    )
+    try:
+        print(f"repro: serving on {args.socket}", file=sys.stderr)
+        run_service(config)
+    except (ReproError, OSError) as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     script = NAMED_SCRIPTS.get(args.script.strip().lower(), args.script)
     if args.trace:

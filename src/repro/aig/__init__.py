@@ -5,6 +5,7 @@ literal helpers, traversals, levels, MFFC accounting, simulation, file I/O
 and invariant validation.
 """
 
+from .digest import structural_digest
 from .graph import AIG, from_functions
 from .levels import RequiredLevels, levels_histogram
 from .literal import (
@@ -60,6 +61,7 @@ __all__ = [
     "simulate",
     "stats",
     "strash",
+    "structural_digest",
     "support",
     "topological_order",
     "transitive_fanin",

@@ -1,0 +1,64 @@
+"""Canonical structural digests for content-addressed result caching.
+
+:func:`structural_digest` maps an :class:`repro.aig.AIG` to a 128-bit
+hex digest that depends only on the *structure reachable from the
+primary outputs* — the AND/inverter DAG shape, the identity of each
+primary input (by PI position), and the ordered PO driver literals.  It
+is deliberately independent of
+
+* **node numbering** — two strash-equivalent networks built in different
+  construction orders (or re-parsed from text, or renumbered by
+  :meth:`AIG.clone` / :func:`repro.aig.strash.strash`) digest equal;
+* **names** — PI/PO/graph names never enter the hash (BENCH rendering
+  ignores them too, so a cached result is reusable across spellings);
+* **dangling logic** — nodes no PO depends on are invisible, exactly as
+  a strash round would drop them.
+
+The construction is a Merkle fold: every node's digest is a
+``blake2b-128`` of its fanins' digests plus the edge complement bits,
+with the two fanin keys sorted *by digest bytes* (not by literal value,
+which would leak node numbering); the graph digest folds the PI count
+and each PO's ``(driver digest, phase)`` in PO order.  Equal digests
+therefore mean isomorphic PO cones up to the collision resistance of
+blake2b — the serving tier's content-addressed store
+(:mod:`repro.serve.store`) keys on this, so repeat traffic of
+re-submitted cores costs one hash instead of a resynthesis run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .graph import AIG
+from .literal import lit_node
+from .traversal import topological_order
+
+_DIGEST_SIZE = 16  # 128-bit per-node and per-graph digests
+
+
+def _h(data: bytes) -> bytes:
+    return hashlib.blake2b(data, digest_size=_DIGEST_SIZE).digest()
+
+
+def structural_digest(g: AIG) -> str:
+    """The canonical 128-bit structural digest of ``g``, as hex.
+
+    A pure function of the PO-reachable structure: node numbering,
+    names and dangling logic never influence the result (see the module
+    docstring for the exact invariances).
+    """
+    digests: dict[int, bytes] = {0: _h(b"C")}
+    for index, pi in enumerate(g.pis):
+        digests[pi] = _h(b"I" + index.to_bytes(4, "little"))
+    for node in topological_order(g):
+        f0, f1 = g.fanin_lits(node)
+        key0 = digests[lit_node(f0)] + bytes([f0 & 1])
+        key1 = digests[lit_node(f1)] + bytes([f1 & 1])
+        if key1 < key0:
+            key0, key1 = key1, key0
+        digests[node] = _h(b"A" + key0 + key1)
+    graph = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    graph.update(b"G" + g.n_pis.to_bytes(4, "little"))
+    for lit in g.pos:
+        graph.update(digests[lit_node(lit)] + bytes([lit & 1]))
+    return graph.hexdigest()

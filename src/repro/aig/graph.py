@@ -472,6 +472,18 @@ class AIG:
     # Cloning / compaction
     # ------------------------------------------------------------------
 
+    def structural_digest(self) -> str:
+        """Canonical 128-bit hex digest of the PO-reachable structure.
+
+        Independent of node numbering, names and dangling logic: two
+        strash-equivalent networks digest equal however they were
+        built.  See :func:`repro.aig.digest.structural_digest` — this
+        is the key the content-addressed serving cache hashes on.
+        """
+        from .digest import structural_digest
+
+        return structural_digest(self)
+
     def clone(self, name: str | None = None) -> "AIG":
         """Deep copy with dead nodes compacted away and ids renumbered
         into topological order."""

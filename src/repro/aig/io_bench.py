@@ -69,12 +69,23 @@ _GATES = {
 
 
 def read(path: str | Path) -> AIG:
-    """Read a BENCH netlist into an AIG."""
-    g = AIG(Path(path).stem)
+    """Read a BENCH netlist file into an AIG (named after the file stem)."""
+    return from_text(Path(path).read_text(encoding="ascii"), name=Path(path).stem)
+
+
+def from_text(text: str, name: str = "aig") -> AIG:
+    """Parse BENCH netlist text into an AIG.
+
+    The inverse of :func:`to_text` (round trips are structurally
+    identical), and the wire format the serving tier uses: requests
+    ship circuits as BENCH text, shard worker processes parse them
+    here, so no AIG object ever crosses a process boundary.
+    """
+    g = AIG(name)
     signals: dict[str, int] = {"gnd": 0, "vdd": 1}
     pending: list[tuple[str, str, list[str]]] = []
     outputs: list[str] = []
-    for raw in Path(path).read_text(encoding="ascii").splitlines():
+    for raw in text.splitlines():
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue

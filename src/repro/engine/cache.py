@@ -31,10 +31,18 @@ A third, independent layer serves the *rewrite* family:
 the canonization walk for each distinct 4-variable function once.  The
 layer stores the library's own (immutable) entries, never derived trees,
 so it is deterministic and safe for any consumer.
+
+Every layer can be bounded: ``ResynthCache(max_entries=N)`` keeps at
+most ``N`` entries per layer in LRU order and counts evictions on the
+``engine_cache_evictions_total{layer=...}`` metric.  Unbounded remains
+the default — a single flow's working set is modest — but long-lived
+serving sessions cap their caches so memory stays flat under arbitrary
+circuit traffic.
 """
 
 from __future__ import annotations
 
+from .. import obs
 from ..factor.tree import KIND_LIT, FactorTree
 from ..tt.npn import N_VARS, Transform, invert_transform, npn_canonize
 
@@ -83,7 +91,12 @@ class ResynthCache:
     snapshot them around a pass to report per-pass rates.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int | None = None) -> None:
+        # Per-layer LRU bound (None = unbounded, the historical default).
+        # Long-lived consumers — the serving tier above all — set it so a
+        # cache shared across thousands of circuits cannot grow without
+        # limit; evictions land on ``engine_cache_evictions_total``.
+        self.max_entries = max_entries
         self._exact: dict[tuple[int, int], tuple] = {}
         # Canonical 4-variable entries: class table -> entry in the
         # canonical variable space.  Populated lazily, by NPN views only.
@@ -103,7 +116,7 @@ class ResynthCache:
 
     def npn_view(self) -> "ResynthCache":
         """A handle over the same storage that also serves NPN-class hits."""
-        view = ResynthCache()
+        view = ResynthCache(self.max_entries)
         view._exact = self._exact
         view._canonical = self._canonical
         view._library = self._library
@@ -119,11 +132,25 @@ class ResynthCache:
         # (``__len__`` makes an empty cache falsy).
         return self if self._stats_owner is None else self._stats_owner
 
+    def _trim(self, layer: dict, name: str) -> None:
+        """Evict oldest entries of ``layer`` down to the LRU bound."""
+        if self.max_entries is None:
+            return
+        while len(layer) > self.max_entries:
+            layer.pop(next(iter(layer)))
+            obs.counter("engine_cache_evictions_total", layer=name).add(1)
+
+    def _touch(self, layer: dict, key) -> None:
+        """Mark ``key`` most-recently-used (insertion order is LRU order)."""
+        if self.max_entries is not None:
+            layer[key] = layer.pop(key)
+
     def get(self, key: tuple[int, int]):
         """Entry for ``key`` or None; NPN remaps count as hits on views."""
         entry = self._exact.get(key)
         owner = self._owner()
         if entry is not None:
+            self._touch(self._exact, key)
             owner.hits_exact += 1
             return entry
         tt, n_leaves = key
@@ -135,12 +162,14 @@ class ResynthCache:
             canonical, transform = npn_canonize(tt)
             hit = self._canonical.get(canonical)
             if hit is not None:
+                self._touch(self._canonical, canonical)
                 tree_c, inverted_c = hit
                 entry = (
                     remap_tree(tree_c, transform),
                     inverted_c ^ transform[2],
                 )
                 self._overlay[key] = entry
+                self._trim(self._overlay, "overlay")
                 owner.hits_npn += 1
                 return entry
             self._pending_canon[key] = (canonical, transform)
@@ -149,6 +178,7 @@ class ResynthCache:
 
     def __setitem__(self, key: tuple[int, int], entry: tuple) -> None:
         self._exact[key] = entry
+        self._trim(self._exact, "exact")
         if not self._npn_lookup:
             return  # exact-only consumers never pay for canonization
         tt, n_leaves = key
@@ -163,6 +193,7 @@ class ResynthCache:
                 remap_tree(tree, inverse),
                 inverted ^ inverse[2],
             )
+            self._trim(self._canonical, "canonical")
 
     def library_lookup(self, tt4: int, library) -> tuple:
         """Cached NPN-library resolution of a padded 4-variable function.
@@ -177,11 +208,13 @@ class ResynthCache:
         owner = self._owner()
         hit = self._library.get(tt4)
         if hit is not None:
+            self._touch(self._library, tt4)
             owner.hits_library += 1
             return hit
         owner.misses_library += 1
         resolved = library.lookup(tt4)
         self._library[tt4] = resolved
+        self._trim(self._library, "library")
         return resolved
 
     def __contains__(self, key: tuple[int, int]) -> bool:

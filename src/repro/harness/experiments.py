@@ -297,6 +297,7 @@ class ServeThroughputRow:
     level: int
     identical: bool | None = None
     error: str | None = None
+    cached: bool = False  # answered by the content-addressed store
 
 
 def serve_throughput(
@@ -306,6 +307,7 @@ def serve_throughput(
     workers: int = 1,
     classifier: ElfClassifier | None = None,
     check_identity: bool = True,
+    store=None,
 ):
     """Sharded serving of ``suite`` + optional byte-identity audit.
 
@@ -315,7 +317,10 @@ def serve_throughput(
     fusion stats, wall time / circuits-per-second).  With
     ``check_identity`` every streamed result is re-derived by a blocking
     sequential ``run_flow`` and compared byte for byte — the serving
-    layer's correctness contract at ``workers=1``.
+    layer's correctness contract at ``workers=1``.  ``store`` (a
+    :class:`repro.serve.ResultStore`) fronts the run with the
+    content-addressed cache; the audit then also certifies that cache
+    *hits* are byte-identical to a fresh blocking derivation.
     """
     from ..aig.io_bench import to_text
     from ..opt.session import OptSession
@@ -324,7 +329,7 @@ def serve_throughput(
     params = ServeParams(
         flow=flow, n_shards=n_shards, workers=workers, keep_graphs=False
     )
-    report = serve_suite(suite, params, classifier=classifier)
+    report = serve_suite(suite, params, classifier=classifier, store=store)
     rows = []
     # One blocking session re-derives every circuit, with per-run caches
     # mirroring the serving layer's: nothing warm can leak between
@@ -348,6 +353,7 @@ def serve_throughput(
                     level=result.level,
                     identical=identical,
                     error=result.error,
+                    cached=result.cached,
                 )
             )
     return rows, report

@@ -23,6 +23,7 @@ worker resolution); see ``docs/engine.md`` for a worked example.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -203,6 +204,49 @@ class CommandRegistry:
                 zero_cost=zero, preserve_levels=preserve, workers=workers
             ),
         )
+
+    def normalize_script(self, script: str) -> str:
+        """Canonical spelling of ``script``: aliases resolved, one flag form.
+
+        Strict (unlike :meth:`canonical`): every command must resolve,
+        so unknown commands and unsupported flags raise
+        :class:`repro.errors.ReproError` here rather than producing a
+        key that could never execute.  Two scripts normalize equal iff
+        they resolve to the same command sequence with the same flags —
+        ``"f ; fz"`` and ``"rf; rfz"`` coincide, ``"rf"`` and ``"rf -l"``
+        do not.  The content-addressed serving cache keys on this, so
+        alias traffic shares entries and flag changes miss correctly.
+        """
+        parts = [
+            self.resolve(part).canonical
+            for part in script.split(";")
+            if part.strip()
+        ]
+        return "; ".join(parts)
+
+    @property
+    def version(self) -> str:
+        """Digest of the registered command surface (names, flags, needs).
+
+        Changes whenever a command is added, renamed, re-aliased or its
+        schema/resource declaration changes — the serving cache includes
+        it in every key, so results computed under one command set are
+        never served under another.  Behavioral changes *inside* an
+        operator are out of scope (bump by registering under a new
+        name, or clear the store on deploy).
+        """
+        h = hashlib.blake2b(digest_size=8)
+        for spelling in sorted(self._lookup):
+            spec, zero = self._lookup[spelling]
+            h.update(
+                (
+                    f"{spelling}:{spec.name}:{int(zero)}:"
+                    f"{int(spec.supports_levels)}{int(spec.supports_workers)}"
+                    f"{int(spec.needs_classifier)}{int(spec.needs_engine_pool)}"
+                    f"{int(spec.uses_cache)};"
+                ).encode("ascii")
+            )
+        return h.hexdigest()
 
     def script_requirements(self, script: str) -> ScriptNeeds:
         """Aggregate resource needs of ``script`` without executing it.

@@ -142,7 +142,7 @@ class FlowContext:
             if self._run_cache is None:
                 from ..engine import ResynthCache
 
-                self._run_cache = ResynthCache()
+                self._run_cache = ResynthCache(self.session.cache_entries)
                 self.session.stats.mark_created("cache")
             return self._run_cache
         return self.session.resynth_cache
@@ -231,6 +231,12 @@ class OptSession:
     bit-identical to recomputation, so sharing is safe there; the
     default stays session-wide.)
 
+    ``cache_entries`` bounds every resynthesis cache this session
+    creates (session-wide or per-run) to an LRU of that many entries per
+    layer — see :class:`repro.engine.ResynthCache`.  Long-lived shard
+    sessions in the serving tier set it so cache memory stays flat under
+    unbounded circuit traffic; ``None`` (the default) is unbounded.
+
     Explicit lifecycle: use as a context manager, or call :meth:`close`.
     """
 
@@ -242,10 +248,12 @@ class OptSession:
         library=None,
         registry: CommandRegistry | None = None,
         per_run_cache: bool = False,
+        cache_entries: int | None = None,
     ) -> None:
         self.classifier = classifier
         self.engine_workers = engine_workers
         self.per_run_cache = per_run_cache
+        self.cache_entries = cache_entries
         self.registry = registry if registry is not None else default_registry()
         self.stats = SessionStats()
         self._external_executor = engine_executor
@@ -265,7 +273,7 @@ class OptSession:
 
             with self._lock:
                 if self._cache is None:
-                    self._cache = ResynthCache()
+                    self._cache = ResynthCache(self.cache_entries)
                     self.stats.mark_created("cache")
         return self._cache
 

@@ -18,6 +18,8 @@ site                      consulted
                           (context: ``chunk``, ``pids`` of the pool)
 ``shm.create``            before allocating a wave shared-memory segment
 ``classifier.fire``       before a fused classifier round dispatches
+``shard.circuit``         inside a serve shard process, before running one
+                          circuit (context: ``pid``, ``shard``, ``circuit``)
 ========================  ====================================================
 
 Actions: ``raise`` (an :class:`InjectedFault`, a

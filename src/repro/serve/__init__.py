@@ -13,6 +13,16 @@ network; this subsystem serves a whole *suite* of circuits in flight:
   yields per-circuit results in completion order instead of blocking on
   the slowest shard; :func:`serve_suite` drains it into a
   :class:`ServeReport` with throughput and batch-occupancy statistics.
+* :mod:`repro.serve.store` — the content-addressed result cache
+  (:class:`ResultStore`): finished results keyed by ``(structural
+  digest, normalized script, registry version)``, fronting both serve
+  paths so repeat structures cost a hash instead of a flow.
+* :mod:`repro.serve.proc` — process-sharded execution
+  (:func:`serve_suite_procs`): one warm session per shard *process*,
+  with dead-shard respawn and in-process degradation.
+* :mod:`repro.serve.service` — the long-lived entrypoint
+  (``python -m repro serve``): an asyncio JSON-lines service over a
+  unix socket with admission control in front of the shard processes.
 
 Quick use::
 
@@ -36,17 +46,23 @@ from .pool import (
     needs_engine_pool,
     script_requirements,
 )
+from .proc import ShardHost, ShardSupervisor, serve_suite_procs
 from .shard import ShardPlan, assign_shards
+from .store import CachedResult, ResultStore
 from .stream import ServeParams, ServeReport, ServeResult, serve_stream, serve_suite
 
 __all__ = [
+    "CachedResult",
     "FusedClassifierClient",
     "FusionStats",
+    "ResultStore",
     "ServeParams",
     "ServeReport",
     "ServeResult",
     "SharedClassifierService",
+    "ShardHost",
     "ShardPlan",
+    "ShardSupervisor",
     "assign_shards",
     "max_explicit_workers",
     "needs_classifier",
@@ -54,4 +70,5 @@ __all__ = [
     "script_requirements",
     "serve_stream",
     "serve_suite",
+    "serve_suite_procs",
 ]

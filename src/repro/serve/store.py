@@ -1,0 +1,165 @@
+"""Content-addressed result store: serve repeat circuits from memory.
+
+Production synthesis traffic is heavily repetitive — the same cores,
+arithmetic blocks and glue cones arrive again and again under different
+node numberings and names.  :class:`ResultStore` memoizes finished
+optimization results under a key that sees through that noise:
+
+    ``(structural digest, normalized script, registry version)``
+
+* the **structural digest** (:func:`repro.aig.structural_digest`) is a
+  Merkle fold of the PO-reachable AND/inverter structure — independent
+  of node numbering, construction order, names and dangling logic, so
+  two strash-equivalent submissions of one function share an entry;
+* the **normalized script**
+  (:meth:`repro.opt.registry.CommandRegistry.normalize_script`) resolves
+  aliases and flag spellings to one canonical form, so ``"f; fz"`` and
+  ``"rf; rfz"`` hit the same entry while ``"rf"`` vs ``"rf -l"`` miss;
+* the **registry version**
+  (:attr:`repro.opt.registry.CommandRegistry.version`) fences entries to
+  the command surface that produced them — registering, renaming or
+  re-flagging a command invalidates every old key.
+
+A hit returns the stored :class:`CachedResult` verbatim: its
+``bench_text`` is byte-for-byte the text the original miss computed (at
+``workers=1`` that text is itself byte-identical to a blocking
+``run_flow``), so cache placement is invisible to result content.  One
+caveat follows from keying on structure rather than names: the BENCH
+header line carries the *first* submitter's circuit name — the canonical
+result for a structure is whatever the first miss computed.
+
+The store is a bounded LRU (``max_entries``), safe for concurrent
+readers/writers, and fully instrumented on the :mod:`repro.obs`
+registry: ``serve_cache_hits_total`` / ``serve_cache_misses_total`` /
+``serve_cache_evictions_total`` counters plus a ``serve_cache_entries``
+gauge, each labeled with the store's process-unique ``store`` label so
+several stores (tests, benchmarks, a live service) never collide.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from .. import obs
+from ..aig.digest import structural_digest
+from ..aig.graph import AIG
+from ..opt.registry import CommandRegistry, default_registry
+
+Key = tuple[str, str, str]  # (structural digest, normalized script, registry version)
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """The content of one store entry: what a flow run produced.
+
+    ``bench_text`` is the canonical payload (the byte-identity contract
+    lives on it); the size/level stats ride along so hits can fill a
+    result record without re-parsing the text.
+    """
+
+    bench_text: str
+    n_ands: int
+    level: int
+    n_ands_before: int
+    level_before: int
+
+
+class ResultStore:
+    """Bounded LRU of :class:`CachedResult` keyed by content address.
+
+    ``max_entries`` bounds the entry count (LRU eviction, counted on
+    ``serve_cache_evictions_total``); ``registry`` supplies script
+    normalization and the version fence — every key this store builds
+    embeds *that* registry's version, so a store is coherent for exactly
+    one command surface.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        registry: CommandRegistry | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("ResultStore needs max_entries >= 1")
+        self.max_entries = max_entries
+        self.registry = registry if registry is not None else default_registry()
+        self.label = obs.next_label("store")
+        labels = {"store": self.label}
+        metrics = obs.metrics()
+        self._hits = metrics.counter("serve_cache_hits_total", **labels)
+        self._misses = metrics.counter("serve_cache_misses_total", **labels)
+        self._evictions = metrics.counter("serve_cache_evictions_total", **labels)
+        self._entries = metrics.gauge("serve_cache_entries", **labels)
+        self._lock = threading.Lock()
+        self._store: dict[Key, CachedResult] = {}
+
+    # -- keying ---------------------------------------------------------------
+
+    def key(self, g: AIG, script: str) -> Key:
+        """Content address of serving ``script`` on ``g``.
+
+        Raises :class:`repro.errors.ReproError` when the script does not
+        resolve — an unservable request must fail here, not fabricate a
+        key that could never have a valid entry.
+        """
+        return (
+            structural_digest(g),
+            self.registry.normalize_script(script),
+            self.registry.version,
+        )
+
+    # -- lookup / insert ------------------------------------------------------
+
+    def lookup(self, key: Key) -> CachedResult | None:
+        """Entry for ``key`` (refreshed as most-recently-used) or None."""
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is None:
+                self._misses.add(1)
+                return None
+            self._store[key] = self._store.pop(key)  # MRU refresh
+            self._hits.add(1)
+            return entry
+
+    def insert(self, key: Key, result: CachedResult) -> None:
+        """Store ``result`` under ``key``, evicting LRU past the bound."""
+        with self._lock:
+            self._store.pop(key, None)  # re-insert = refresh, never double
+            self._store[key] = result
+            while len(self._store) > self.max_entries:
+                self._store.pop(next(iter(self._store)))
+                self._evictions.add(1)
+            self._entries.set(len(self._store))
+
+    def get(self, g: AIG, script: str) -> CachedResult | None:
+        """Convenience: :meth:`key` + :meth:`lookup` in one call."""
+        return self.lookup(self.key(g, script))
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __contains__(self, key: Key) -> bool:
+        with self._lock:
+            return key in self._store
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions.value)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0.0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -65,6 +65,11 @@ class ServeParams:
     the best committed prefix is CEC-equivalent to the input — marked
     ``deadline_exceeded`` and counted ``serve_deadline_exceeded_total``.
     ``None`` (the default) serves without a budget.
+
+    ``engine_cache_entries`` bounds every per-run resynthesis cache a
+    serving session creates (LRU entries per layer, see
+    :class:`repro.engine.ResynthCache`); ``None`` is unbounded — fine
+    for one suite, set it on long-lived services.
     """
 
     flow: str = "rf"
@@ -73,6 +78,7 @@ class ServeParams:
     fuse_classifier: bool = True
     keep_graphs: bool = True
     circuit_timeout_s: float | None = None
+    engine_cache_entries: int | None = None
 
 
 @dataclass
@@ -94,6 +100,9 @@ class ServeResult:
     # True when the circuit's budget expired: the result then holds the
     # best committed prefix (valid and CEC-clean), not the full flow.
     deadline_exceeded: bool = False
+    # True when the result came out of a content-addressed ResultStore
+    # (shard is -1 then: no shard ever saw the request).
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -131,6 +140,7 @@ def serve_stream(
     cost: dict[str, int] | None = None,
     fusion_out: dict[int, FusionStats] | None = None,
     plan: ShardPlan | None = None,
+    store=None,
 ) -> Iterator[ServeResult]:
     """Serve ``suite`` through ``params.flow``; yield results as they land.
 
@@ -139,10 +149,43 @@ def serve_stream(
     shards spin up, letting callers read occupancy after the stream is
     drained; :func:`serve_suite` does exactly that, and also passes the
     ``plan`` it reports so the two never diverge.
+
+    ``store`` (a :class:`repro.serve.store.ResultStore`) puts the
+    content-addressed cache in front: hits are yielded first (``cached``
+    set, ``shard`` -1, bench text byte-identical to the original miss),
+    misses run normally and their clean results are inserted on
+    completion.  Deadline-expired and errored results never enter the
+    store.
     """
     params = params or ServeParams()
     if plan is None:
         plan = assign_shards(suite, params.n_shards, cost)
+    cache_keys: dict[str, tuple] = {}
+    cache_hits: list[ServeResult] = []
+    if store is not None:
+        for name, g in suite.items():
+            cache_keys[name] = store.key(g, params.flow)
+            hit = store.lookup(cache_keys[name])
+            if hit is not None:
+                cache_hits.append(
+                    ServeResult(
+                        name=name,
+                        shard=-1,
+                        n_ands_before=g.n_ands,
+                        level_before=g.max_level(),
+                        n_ands=hit.n_ands,
+                        level=hit.level,
+                        bench_text=hit.bench_text,
+                        cached=True,
+                    )
+                )
+        if cache_hits:
+            suite = {
+                name: g
+                for name, g in suite.items()
+                if name not in {r.name for r in cache_hits}
+            }
+            plan = assign_shards(suite, params.n_shards, cost)
     needs = script_requirements(params.flow)
     fuse = classifier is not None and params.fuse_classifier and needs.classifier
     # The shard pool must cover the script's own -w pins as well as the
@@ -172,6 +215,7 @@ def serve_stream(
             classifier=classifier,
             engine_workers=params.workers if params.workers > 0 else None,
             per_run_cache=True,
+            cache_entries=params.engine_cache_entries,
         )
         if needs.engine_pool and pool_workers > 1:
             session.warm_engine(pool_workers)
@@ -189,18 +233,27 @@ def serve_stream(
                         session,
                         service,
                         results,
+                        store,
+                        cache_keys.get(name),
                     ),
                     daemon=True,
                 )
             )
     started: list[threading.Thread] = []
     try:
+        order = 0
+        for hit in cache_hits:
+            hit.order = order
+            order += 1
+            obs.counter("serve_circuits_total", outcome="ok").add(1)
+            yield hit
         for thread in threads:
             thread.start()
             started.append(thread)
-        for order in range(len(started)):
+        for _ in range(len(started)):
             result = results.get()
             result.order = order
+            order += 1
             yield result
     finally:
         # Join only what actually started (joining an unstarted thread
@@ -217,8 +270,14 @@ def serve_suite(
     params: ServeParams | None = None,
     classifier=None,
     cost: dict[str, int] | None = None,
+    store=None,
 ) -> ServeReport:
-    """Blocking serve: drain :func:`serve_stream`, return the full report."""
+    """Blocking serve: drain :func:`serve_stream`, return the full report.
+
+    ``store`` forwards to :func:`serve_stream`'s content-addressed cache
+    front; the reported ``plan`` still covers the whole suite (it is the
+    logical assignment — cache hits simply never reach their shard).
+    """
     params = params or ServeParams()
     plan = assign_shards(suite, params.n_shards, cost)
     fusion: dict[int, FusionStats] = {}
@@ -226,7 +285,15 @@ def serve_suite(
         "serve.suite", circuits=len(suite), shards=len(plan.shards), flow=params.flow
     ) as suite_span:
         results = list(
-            serve_stream(suite, params, classifier, cost, fusion_out=fusion, plan=plan)
+            serve_stream(
+                suite,
+                params,
+                classifier,
+                cost,
+                fusion_out=fusion,
+                plan=None if store is not None else plan,
+                store=store,
+            )
         )
         suite_span.set(ok=all(r.ok for r in results))
     return ServeReport(
@@ -245,12 +312,16 @@ def _serve_one(
     session: OptSession,
     service: SharedClassifierService | None,
     results: "queue.Queue[ServeResult]",
+    store=None,
+    cache_key: tuple | None = None,
 ) -> None:
     """Thread body: run the flow on a clone, push one result, always.
 
     ``session`` is the *shard's* shared session (cache, library, pool);
     the per-circuit fused classifier client — when the shard fuses —
-    rides in as this run's classifier override.
+    rides in as this run's classifier override.  A clean (non-error,
+    non-deadline) result is inserted into ``store`` under ``cache_key``
+    when a content-addressed cache fronts this run.
     """
     result = ServeResult(
         name=name,
@@ -300,6 +371,25 @@ def _serve_one(
     finally:
         if client is not None:
             client.finish()
+        if (
+            store is not None
+            and cache_key is not None
+            and result.ok
+            and not result.deadline_exceeded
+            and result.bench_text is not None
+        ):
+            from .store import CachedResult
+
+            store.insert(
+                cache_key,
+                CachedResult(
+                    bench_text=result.bench_text,
+                    n_ands=result.n_ands,
+                    level=result.level,
+                    n_ands_before=result.n_ands_before,
+                    level_before=result.level_before,
+                ),
+            )
         result.runtime = span.duration
         metrics = obs.metrics()
         metrics.histogram("serve_circuit_seconds", shard=str(shard)).observe(

@@ -1,0 +1,202 @@
+"""Tests for the production serve front: shard processes + service.
+
+Covers the contracts the service is built on: `serve_suite_procs`
+results are byte-identical to blocking derivation at ``workers=1``
+(cold, warm-through-cache, and across an injected shard-process kill
+with only that shard's circuits re-run), and the asyncio service
+applies admission control and typed validation before any shard sees a
+request.
+"""
+
+import asyncio
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.aig.io_bench import to_text
+from repro.harness import serve_throughput
+from repro.opt import run_flow
+from repro.resilience import faults
+from repro.serve import ResultStore, ServeParams, serve_suite_procs
+from repro.serve.service import (
+    OptimizeService,
+    ServiceConfig,
+    request,
+    run_service,
+)
+
+from .util import random_aig
+
+FLOW = "b; rf"
+
+
+def small_suite(n=4, seed0=70):
+    return {
+        f"c{i}": random_aig(6, 80 + 20 * i, 3, seed=seed0 + i, name=f"c{i}")
+        for i in range(n)
+    }
+
+
+def blocking_texts(suite, flow=FLOW):
+    out = {}
+    for name, g in suite.items():
+        result, _ = run_flow(g.clone(), flow)
+        out[name] = to_text(result)
+    return out
+
+
+class TestServeSuiteProcs:
+    def test_byte_identical_to_blocking(self):
+        suite = small_suite()
+        report = serve_suite_procs(suite, ServeParams(flow=FLOW, n_shards=2, workers=1))
+        expected = blocking_texts(suite)
+        assert sorted(r.name for r in report.results) == sorted(suite)
+        for r in report.results:
+            assert r.ok and not r.cached
+            assert r.bench_text == expected[r.name], r.name
+
+    def test_warm_pass_serves_every_circuit_from_cache(self):
+        suite = small_suite()
+        store = ResultStore()
+        params = ServeParams(flow=FLOW, n_shards=2, workers=1)
+        cold = serve_suite_procs(suite, params, store=store)
+        warm = serve_suite_procs(suite, params, store=store)
+        cold_text = {r.name: r.bench_text for r in cold.results}
+        assert all(not r.cached for r in cold.results)
+        for r in warm.results:
+            assert r.cached and r.shard == -1
+            assert r.bench_text == cold_text[r.name]
+        assert store.hits == len(suite) and store.misses == len(suite)
+
+    def test_shard_kill_recovers_byte_identical(self):
+        suite = small_suite()
+        params = ServeParams(flow=FLOW, n_shards=2, workers=1)
+        clean = {r.name: r.bench_text for r in serve_suite_procs(suite, params).results}
+
+        metrics = obs.metrics()
+        deaths0 = metrics.total("serve_shard_deaths_total")
+        respawns0 = metrics.total("serve_shard_respawns_total")
+        degraded0 = metrics.total("engine_degradations_total")
+        # A *persistent* kill: the shard process dies on every arrival of
+        # c2, respawn included, so the retry budget must exhaust and the
+        # supervisor must degrade that shard's leftovers in-process (the
+        # fault site fires in shard children only — that is what
+        # guarantees termination).
+        with faults.injected("shard.circuit=kill#circuit=c2"):
+            report = serve_suite_procs(suite, params)
+
+        assert sorted(r.name for r in report.results) == sorted(suite)
+        for r in report.results:
+            assert r.ok, (r.name, r.error)
+            assert r.bench_text == clean[r.name], r.name
+        assert metrics.total("serve_shard_deaths_total") - deaths0 >= 2
+        assert metrics.total("serve_shard_respawns_total") - respawns0 >= 1
+        assert metrics.total("engine_degradations_total") - degraded0 >= 1
+
+    def test_concurrent_shards_audit_through_cache(self):
+        suite = small_suite()
+        store = ResultStore()
+        cold_rows, _ = serve_throughput(
+            suite, flow=FLOW, n_shards=2, workers=1, store=store
+        )
+        warm_rows, _ = serve_throughput(
+            suite, flow=FLOW, n_shards=2, workers=1, store=store
+        )
+        assert all(row.identical for row in cold_rows)
+        assert all(row.identical and row.cached for row in warm_rows)
+
+
+class TestServiceValidation:
+    """Protocol-level checks that never need a running shard."""
+
+    def _optimize(self, service, message):
+        return asyncio.run(service._optimize_inner(message))
+
+    def test_overload_rejection_is_typed(self):
+        service = OptimizeService(ServiceConfig(max_pending=0))
+        before = obs.metrics().total("serve_rejected_total")
+        bench = to_text(random_aig(5, 30, 2, seed=1))
+        response = self._optimize(service, {"op": "optimize", "bench": bench})
+        assert not response["ok"]
+        assert response["error"]["type"] == "overloaded"
+        assert response["error"]["limit"] == 0
+        assert obs.metrics().total("serve_rejected_total") - before == 1
+
+    def test_missing_bench_is_bad_request(self):
+        service = OptimizeService(ServiceConfig())
+        response = self._optimize(service, {"op": "optimize"})
+        assert not response["ok"] and response["error"]["type"] == "bad_request"
+
+    def test_unknown_command_is_bad_script(self):
+        service = OptimizeService(ServiceConfig())
+        bench = to_text(random_aig(5, 30, 2, seed=2))
+        response = self._optimize(
+            service, {"op": "optimize", "bench": bench, "script": "frobnicate"}
+        )
+        assert not response["ok"] and response["error"]["type"] == "bad_script"
+
+    def test_classifier_script_is_unsupported(self):
+        service = OptimizeService(ServiceConfig())
+        bench = to_text(random_aig(5, 30, 2, seed=3))
+        response = self._optimize(
+            service, {"op": "optimize", "bench": bench, "script": "elf"}
+        )
+        assert not response["ok"] and response["error"]["type"] == "unsupported"
+
+    def test_unknown_op(self):
+        service = OptimizeService(ServiceConfig())
+        response = asyncio.run(service._dispatch({"op": "nope"}))
+        assert not response["ok"] and response["error"]["type"] == "unknown_op"
+
+
+@pytest.mark.slow
+class TestServiceEndToEnd:
+    def test_miss_then_byte_identical_hit_over_socket(self, tmp_path):
+        socket_path = str(tmp_path / "serve.sock")
+        config = ServiceConfig(
+            socket_path=socket_path, script=FLOW, n_shards=1, workers=1
+        )
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(target=run_service, args=(config,))
+        proc.start()
+        g = random_aig(6, 90, 3, seed=5, name="e2e")
+        bench = to_text(g)
+        try:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                assert proc.is_alive(), "service process exited early"
+                if os.path.exists(socket_path):
+                    try:
+                        if request(socket_path, {"op": "ping"}, timeout=2.0).get("ok"):
+                            break
+                    except OSError:
+                        pass
+                time.sleep(0.05)
+            else:
+                pytest.fail("service did not become ready")
+
+            first = request(socket_path, {"op": "optimize", "name": "e2e", "bench": bench})
+            assert first["ok"] and first["cached"] is False
+            expected, _ = run_flow(g.clone(), FLOW)
+            assert first["bench"] == to_text(expected)
+
+            second = request(socket_path, {"op": "optimize", "name": "e2e", "bench": bench})
+            assert second["ok"] and second["cached"] is True
+            assert second["bench"] == first["bench"]
+
+            stats = request(socket_path, {"op": "stats"})
+            assert stats["cache"]["hits"] == 1 and stats["cache"]["misses"] == 1
+
+            metrics = request(socket_path, {"op": "metrics"})
+            assert "serve_cache_hits_total" in metrics["text"]
+
+            request(socket_path, {"op": "shutdown"})
+            proc.join(timeout=15)
+            assert proc.exitcode == 0
+        finally:
+            if proc.is_alive():
+                proc.kill()
+                proc.join()

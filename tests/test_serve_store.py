@@ -1,0 +1,176 @@
+"""Tests for the content-addressed serving cache: digest, keying, LRU.
+
+The serving cache (`repro.serve.store.ResultStore`) is only sound if its
+key components hold their invariants: the structural digest must see
+through node numbering / names / dangling logic but *not* through
+function changes; script normalization must merge alias spellings but
+*not* flag changes; the registry version must fence entries to one
+command surface.  The LRU bounds (store entries, engine `ResynthCache`
+layers) guard the long-lived service against unbounded growth.
+"""
+
+import pytest
+
+from repro import obs
+from repro.aig import AIG, structural_digest
+from repro.aig.io_bench import from_text, to_text
+from repro.engine import ResynthCache
+from repro.errors import ReproError
+from repro.opt import OptSession, run_flow
+from repro.opt.registry import CommandSpec, default_registry
+from repro.serve import CachedResult, ResultStore
+
+from .util import random_aig
+
+
+def _pair_tree(order: str) -> AIG:
+    """(a&b) & (c&d), with the two inner ANDs built in ``order``."""
+    g = AIG(f"pairs-{order}")
+    a, b, c, d = (g.add_pi() for _ in range(4))
+    if order == "ab-first":
+        x = g.add_and(a, b)
+        y = g.add_and(c, d)
+    else:
+        y = g.add_and(c, d)
+        x = g.add_and(a, b)
+    g.add_po(g.add_and(x, y))
+    return g
+
+
+class TestStructuralDigest:
+    def test_construction_order_irrelevant(self):
+        assert structural_digest(_pair_tree("ab-first")) == structural_digest(
+            _pair_tree("cd-first")
+        )
+
+    def test_clone_and_reparse_preserve_digest(self):
+        g = random_aig(6, 80, 3, seed=11, name="orig")
+        d = structural_digest(g)
+        assert structural_digest(g.clone(name="other")) == d
+        assert structural_digest(from_text(to_text(g), name="reparsed")) == d
+        assert g.structural_digest() == d  # the method is the function
+
+    def test_dangling_logic_invisible(self):
+        g = random_aig(6, 60, 2, seed=12)
+        d = structural_digest(g)
+        pis = g.pis
+        g.add_and(pis[0], pis[1] ^ 1)  # no PO reaches it
+        assert structural_digest(g) == d
+
+    def test_pi_identity_and_phase_matter(self):
+        ga = AIG("pi-a")
+        a0, a1 = ga.add_pi(), ga.add_pi()
+        ga.add_po(ga.add_and(a0, a1 ^ 1))  # a & ~b
+        gb = AIG("pi-b")
+        b0, b1 = gb.add_pi(), gb.add_pi()
+        gb.add_po(gb.add_and(b0 ^ 1, b1))  # ~a & b: PI roles swapped
+        assert structural_digest(ga) != structural_digest(gb)
+
+        gc = ga.clone()
+        gc.set_po(0, gc.pos[0] ^ 1)  # same cone, inverted output
+        assert structural_digest(gc) != structural_digest(ga)
+
+
+class TestStoreKeying:
+    def test_alias_spellings_share_a_key(self):
+        store = ResultStore()
+        g = random_aig(6, 50, 2, seed=13)
+        assert store.key(g, "f; fz") == store.key(g, "rf; rfz")
+        assert store.key(g, "rf;rfz") == store.key(g, "rf; rfz")
+
+    def test_script_and_flag_changes_miss(self):
+        store = ResultStore()
+        g = random_aig(6, 50, 2, seed=13)
+        base = store.key(g, "rf")
+        assert store.key(g, "rf -l") != base
+        assert store.key(g, "rw") != base
+
+    def test_structural_equivalents_share_a_key(self):
+        store = ResultStore()
+        g = random_aig(6, 50, 2, seed=14, name="first")
+        renamed = from_text(to_text(g), name="totally-different")
+        assert store.key(g, "b; rf") == store.key(renamed, "b; rf")
+
+    def test_registry_version_fences_keys(self):
+        g = random_aig(6, 50, 2, seed=15)
+        patched = default_registry().copy()
+        patched.register(
+            CommandSpec(name="zzz", execute=lambda g, ctx, flags: (g, None))
+        )
+        assert patched.version != default_registry().version
+        old = ResultStore(registry=default_registry())
+        new = ResultStore(registry=patched)
+        assert old.key(g, "rf") != new.key(g, "rf")
+
+    def test_unresolvable_script_raises(self):
+        store = ResultStore()
+        with pytest.raises(ReproError):
+            store.key(random_aig(5, 30, 2, seed=16), "not-a-command")
+
+
+def _entry(tag: str) -> CachedResult:
+    return CachedResult(
+        bench_text=f"# {tag}\n", n_ands=1, level=1, n_ands_before=2, level_before=2
+    )
+
+
+class TestStoreLRU:
+    def test_eviction_order_and_counters(self):
+        store = ResultStore(max_entries=2)
+        keys = [(f"digest{i}", "rf", "v") for i in range(3)]
+        store.insert(keys[0], _entry("k0"))
+        store.insert(keys[1], _entry("k1"))
+        assert store.lookup(keys[0]) is not None  # refresh k0 to MRU
+        store.insert(keys[2], _entry("k2"))  # evicts k1, not k0
+        assert keys[1] not in store and keys[0] in store and keys[2] in store
+        assert store.evictions == 1 and len(store) == 2
+        assert store.lookup(keys[1]) is None
+        assert store.hits == 1 and store.misses == 1
+        assert store.hit_rate == 0.5
+
+    def test_hit_returns_inserted_bytes_verbatim(self):
+        store = ResultStore()
+        g = random_aig(6, 60, 2, seed=17)
+        out, _ = run_flow(g.clone(), "b; rf")
+        text = to_text(out)
+        key = store.key(g, "b; rf")
+        store.insert(
+            key,
+            CachedResult(
+                bench_text=text,
+                n_ands=out.n_ands,
+                level=out.max_level(),
+                n_ands_before=g.n_ands,
+                level_before=g.max_level(),
+            ),
+        )
+        hit = store.get(from_text(to_text(g), name="resubmitted"), "b; rf")
+        assert hit is not None and hit.bench_text == text
+
+
+class TestEngineCacheLRU:
+    def test_exact_layer_evicts_lru_and_counts(self):
+        before = obs.metrics().total("engine_cache_evictions_total")
+        cache = ResynthCache(max_entries=2)
+        cache[(0b0001, 5)] = ("t0", False)
+        cache[(0b0010, 5)] = ("t1", False)
+        assert cache.get((0b0001, 5)) is not None  # refresh to MRU
+        cache[(0b0100, 5)] = ("t2", False)  # evicts (0b0010, 5)
+        assert cache.get((0b0010, 5)) is None
+        assert cache.get((0b0001, 5)) is not None
+        assert obs.metrics().total("engine_cache_evictions_total") - before == 1
+
+    def test_unbounded_by_default(self):
+        cache = ResynthCache()
+        for i in range(300):
+            cache[(i, 5)] = ("t", False)
+        assert len(cache) == 300
+
+    def test_npn_view_inherits_bound(self):
+        assert ResynthCache(max_entries=7).npn_view().max_entries == 7
+
+    def test_session_threads_cache_entries(self):
+        with OptSession(cache_entries=3) as session:
+            assert session.resynth_cache.max_entries == 3
+        with OptSession() as session:
+            assert session.resynth_cache.max_entries is None

@@ -20,6 +20,12 @@ Two checks, both cheap enough to run inside the default test target:
    ``docs/serving.md`` must link to both — those pages document *their*
    instrumentation and failure handling, so a missing link means one of
    the pages went stale.
+4. **Serving coverage.**  The serving front is the one subsystem users
+   reach without importing the package, so its docs must keep pace:
+   ``docs/serving.md`` has to describe the ``python -m repro serve``
+   entry point, ``docs/observability.md`` the ``serve_cache_hits_total``
+   counter family, ``docs/robustness.md`` the shard respawn path, and
+   the README quickstart has to mention ``repro serve``.
 
 Exit status 0 on success; prints every failure before exiting non-zero.
 """
@@ -119,9 +125,33 @@ def check_doc_crosslinks() -> list[str]:
     return failures
 
 
+SERVING_COVERAGE = (
+    # (file, required substring, what its absence means)
+    ("docs/serving.md", "python -m repro serve", "service entry point undocumented"),
+    ("docs/observability.md", "serve_cache_hits_total", "serve counter family undocumented"),
+    ("docs/robustness.md", "respawn", "shard respawn path undocumented"),
+    ("README.md", "repro serve", "quickstart does not mention the service"),
+)
+
+
+def check_serving_docs() -> list[str]:
+    failures: list[str] = []
+    for name, needle, meaning in SERVING_COVERAGE:
+        path = REPO / name
+        if not path.is_file():
+            failures.append(f"{name}: missing")
+            continue
+        if needle not in path.read_text(encoding="utf-8"):
+            failures.append(f"{name}: {meaning} (expected {needle!r})")
+    return failures
+
+
 def main() -> int:
     failures = (
-        check_module_docstrings() + check_readme_examples() + check_doc_crosslinks()
+        check_module_docstrings()
+        + check_readme_examples()
+        + check_doc_crosslinks()
+        + check_serving_docs()
     )
     for failure in failures:
         print(f"docs-check: {failure}", file=sys.stderr)

@@ -4,9 +4,10 @@ The fault-tolerance layer (``docs/robustness.md``) only works if every
 failure is *counted or propagated*: a ``try/except Exception: pass`` in
 the engine or serve trees would silently eat exactly the crashes the
 recovery machinery and its metrics exist to surface.  This lint walks
-the ASTs of ``src/repro/engine`` and ``src/repro/serve`` and fails on
-any handler for ``Exception`` / ``BaseException`` (or a bare
-``except:``) whose body does none of:
+the ASTs of ``src/repro/engine``, ``src/repro/serve`` (the whole
+serving stack — store, shard processes, the asyncio service) and
+``src/repro/resilience`` and fails on any handler for ``Exception`` /
+``BaseException`` (or a bare ``except:``) whose body does none of:
 
 * re-raise (any ``raise`` statement);
 * increment a metric — an ``obs.counter(...).add(...)`` /
@@ -30,7 +31,7 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-LINTED_TREES = ("src/repro/engine", "src/repro/serve")
+LINTED_TREES = ("src/repro/engine", "src/repro/serve", "src/repro/resilience")
 PRAGMA = "# lint-faults:"
 BROAD_NAMES = {"Exception", "BaseException"}
 METRIC_METHODS = {"add", "observe", "inc", "set"}

@@ -7,11 +7,12 @@ instrumented trees must come from the :mod:`repro.obs` span API or
 directly from the monotonic clocks it is built on
 (``time.perf_counter`` / ``time.monotonic``).
 
-This lint walks the ASTs of ``src/repro/engine``, ``src/repro/opt`` and
-``src/repro/serve`` and fails on any call of ``time.time`` (including
-``from time import time`` aliases).  Wall-clock *timestamps* for log
-records or file names belong in the exporters and harness, which are
-deliberately outside the linted trees.
+This lint walks the ASTs of ``src/repro/engine``, ``src/repro/opt``,
+``src/repro/serve`` (the whole serving stack, the asyncio service
+included) and ``src/repro/resilience`` and fails on any call of
+``time.time`` (including ``from time import time`` aliases).
+Wall-clock *timestamps* for log records or file names belong in the
+exporters and harness, which are deliberately outside the linted trees.
 
 Exit status 0 when clean; prints every offending ``file:line`` before
 exiting non-zero.
@@ -24,7 +25,12 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-LINTED_TREES = ("src/repro/engine", "src/repro/opt", "src/repro/serve")
+LINTED_TREES = (
+    "src/repro/engine",
+    "src/repro/opt",
+    "src/repro/serve",
+    "src/repro/resilience",
+)
 
 
 class _WallClockFinder(ast.NodeVisitor):

@@ -1,0 +1,108 @@
+"""Smoke-test the serving stack end to end (the ``make serve-demo`` body).
+
+Starts ``python -m repro serve`` on a temporary unix socket, waits for
+it to answer ``ping``, submits one generated circuit **twice** — the
+first optimize must miss the content-addressed cache, the second must
+hit it with byte-identical BENCH text — then checks the hit counter via
+``stats``, scrapes ``metrics`` for the ``serve_cache_hits_total``
+series, and shuts the service down.  Exit status 0 means every step
+held; any assertion or timeout is a non-zero exit, which is what lets
+``make test`` gate on it.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.aig import AIG  # noqa: E402
+from repro.aig.io_bench import to_text  # noqa: E402
+from repro.serve.service import request  # noqa: E402
+
+STARTUP_TIMEOUT_S = 30.0
+
+
+def demo_circuit(seed: int = 7) -> AIG:
+    """A small random AIG with enough structure for 'b; rf' to bite."""
+    rng = random.Random(seed)
+    g = AIG("serve-demo")
+    lits = [g.add_pi() for _ in range(8)]
+    for _ in range(120):
+        a, b = rng.sample(lits, 2)
+        lits.append(g.add_and(a ^ rng.randint(0, 1), b ^ rng.randint(0, 1)))
+    for lit in lits[-4:]:
+        g.add_po(lit)
+    return g
+
+
+def wait_ready(socket_path: str, proc: subprocess.Popen) -> None:
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(f"service exited early with {proc.returncode}")
+        if os.path.exists(socket_path):
+            try:
+                if request(socket_path, {"op": "ping"}, timeout=2.0).get("ok"):
+                    return
+            except OSError:
+                pass
+        time.sleep(0.1)
+    raise SystemExit("service did not become ready in time")
+
+
+def main() -> int:
+    bench = to_text(demo_circuit())
+    with tempfile.TemporaryDirectory(prefix="repro-serve-demo-") as tmp:
+        socket_path = os.path.join(tmp, "serve.sock")
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--socket",
+                socket_path,
+                "--script",
+                "b; rf",
+                "--shards",
+                "2",
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        try:
+            wait_ready(socket_path, proc)
+            first = request(socket_path, {"op": "optimize", "name": "demo", "bench": bench})
+            assert first["ok"] and first["cached"] is False, first
+            assert first["n_ands"] <= first["n_ands_before"], first
+            second = request(socket_path, {"op": "optimize", "name": "demo", "bench": bench})
+            assert second["ok"] and second["cached"] is True, second
+            assert second["bench"] == first["bench"], "cache hit not byte-identical"
+            stats = request(socket_path, {"op": "stats"})
+            assert stats["cache"]["hits"] == 1 and stats["cache"]["misses"] == 1, stats
+            metrics = request(socket_path, {"op": "metrics"})
+            assert "serve_cache_hits_total" in metrics["text"], "hit counter not exported"
+            request(socket_path, {"op": "shutdown"})
+            proc.wait(timeout=15)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+    print(
+        "serve-demo: ok (miss -> hit, byte-identical, "
+        f"{first['n_ands_before']} -> {first['n_ands']} ANDs)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
