@@ -3,9 +3,9 @@
 
 PYTHON ?= python
 
-.PHONY: test test-fast test-faults docs-check lint-timing lint-faults trace-demo serve-demo bench bench-rw bench-mp bench-serve bench-all bench-faults profile clean
+.PHONY: test test-fast test-faults docs-check lint-timing lint-faults trace-demo serve-demo tune-demo bench bench-rw bench-mp bench-serve bench-tune bench-all bench-faults profile clean
 
-test: docs-check lint-timing lint-faults serve-demo
+test: docs-check lint-timing lint-faults serve-demo tune-demo
 	$(PYTHON) -m pytest -x -q
 
 test-fast:
@@ -49,6 +49,12 @@ trace-demo:
 serve-demo:
 	$(PYTHON) tools/serve_demo.py
 
+# Tuner smoke test: tunes a small circuit under a 2 s budget and asserts
+# the result matches/beats fixed resyn2, CEC-clean, with a recipe-book
+# hit on the second run (tools/tune_demo.py).
+tune-demo:
+	$(PYTHON) tools/tune_demo.py
+
 # Engine scaling benchmark (no classifier training needed; writes
 # benchmarks/results/engine_scaling.json, a rendered table, and the
 # refactor rows of the repo-level BENCH_engine.json perf trajectory).
@@ -81,6 +87,12 @@ profile:
 # benchmarks/results/serve_throughput.json and a rendered table).
 bench-serve:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve_throughput.py
+
+# Fixed resyn2 vs the budgeted tuner at equal wall-budget on the layered
+# suite; merges the tune-search rows into BENCH_engine.json (seeded,
+# cpu_count stamped, every tuned result CEC-verified).
+bench-tune:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_tune.py
 
 # Full paper benchmark suite (trains/caches classifiers on first run).
 bench-all:

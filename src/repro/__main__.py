@@ -32,6 +32,16 @@ content-addressed result cache and admission control.  See
     python -m repro serve --socket /tmp/repro.sock --script "b; rf" \\
         --shards 4 --queue-limit 32 --metrics serve-metrics.prom
 
+``python -m repro tune INPUT.bench --budget 5`` searches for a
+per-circuit flow script instead of running a fixed one
+(:mod:`repro.tune`): an anytime bandit over the registry commands that
+always returns the best committed result when the budget expires.
+``--recipes FILE`` persists winning scripts across invocations keyed by
+circuit shape; see ``docs/tuning.md``::
+
+    python -m repro tune input.bench --budget 5 -o out.bench \\
+        --recipes recipes.json --seed 7
+
 Exit status: 0 on success, 2 for usage/flow errors (unknown command,
 unsupported flag, malformed input).
 """
@@ -179,6 +189,105 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_tune_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro tune",
+        description="Search for a per-circuit flow script under a time budget.",
+    )
+    parser.add_argument("input", help="input circuit (BENCH format)")
+    parser.add_argument(
+        "-o",
+        "--output",
+        help="write the tuned BENCH here (default: stdout)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock search budget; the best committed result so far "
+        "is returned when it expires (default: no budget — the probe "
+        "limit terminates the search)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="bandit RNG seed (default: 0)",
+    )
+    parser.add_argument(
+        "--probes",
+        type=int,
+        default=64,
+        metavar="N",
+        help="maximum probe passes (default: 64)",
+    )
+    parser.add_argument(
+        "--recipes",
+        metavar="FILE",
+        help="JSON recipe book: warm-start from (and record back) winning "
+        "scripts keyed by circuit shape",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the tuning summary",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the metrics registry in Prometheus text format",
+    )
+    return parser
+
+
+def tune_main(argv: list[str]) -> int:
+    from .tune import RecipeBook, TuneParams, tune
+
+    args = build_tune_parser().parse_args(argv)
+    try:
+        g = read(args.input)
+        recipes = RecipeBook(args.recipes) if args.recipes else None
+        result = tune(
+            g,
+            TuneParams(
+                seed=args.seed,
+                budget_s=args.budget,
+                max_probes=args.probes,
+                recipes=recipes,
+            ),
+        )
+        if args.output:
+            write(result.graph, args.output)
+        else:
+            sys.stdout.write(to_text(result.graph))
+        if args.metrics:
+            obs.export_metrics(args.metrics)
+    except (ReproError, OSError) as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print(
+            f"repro: tuned {g.name or args.input}: "
+            f"{result.n_ands_before} -> {result.n_ands} ANDs "
+            f"({result.gain_pct:.1f}%), level {result.level_before} -> "
+            f"{result.level}, {result.probes} probes in {result.elapsed_s:.2f}s",
+            file=sys.stderr,
+        )
+        print(f"repro: script: {result.script}", file=sys.stderr)
+        if args.recipes:
+            print(
+                f"repro: recipes: {args.recipes} [bucket {result.bucket}, "
+                f"{'hit' if result.recipe_hit else 'miss'}]",
+                file=sys.stderr,
+            )
+    if args.output:
+        print(f"repro: wrote {args.output}", file=sys.stderr)
+    return 0
+
+
 def serve_main(argv: list[str]) -> int:
     from .serve.service import ServiceConfig, run_service
 
@@ -210,6 +319,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "tune":
+        return tune_main(argv[1:])
     args = build_parser().parse_args(argv)
     script = NAMED_SCRIPTS.get(args.script.strip().lower(), args.script)
     if args.trace:

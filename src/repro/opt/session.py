@@ -443,6 +443,22 @@ class OptSession:
             run_span.set(steps=len(report.steps), n_ands=g.n_ands)
         return g, report
 
+    def probe(
+        self, g: AIG, script: str, classifier=None, deadline=None
+    ) -> tuple[AIG, FlowReport]:
+        """Run ``script`` on a snapshot of ``g``: measure without committing.
+
+        ``g`` itself is never mutated — the script executes on a clone,
+        so rolling a probe back is just dropping the returned graph and
+        keeping ``g``.  The tuner (:mod:`repro.tune`) uses this to score
+        candidate commands against the same committed state repeatedly;
+        callers that like the outcome adopt the returned graph as their
+        new state.  Semantics (resources, deadline threading, the
+        :class:`repro.errors.DeadlineExceeded` partial contract) are
+        exactly those of :meth:`run` applied to the clone.
+        """
+        return self.run(g.clone(), script, classifier=classifier, deadline=deadline)
+
     def _check_resources(self, resolved: ResolvedCommand, ctx: FlowContext) -> None:
         if resolved.spec.needs_classifier and ctx.classifier is None:
             raise ReproError(

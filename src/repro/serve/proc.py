@@ -49,6 +49,7 @@ from ..opt.session import OptSession
 from ..resilience import DEFAULT_RETRY_POLICY, Deadline, RetryPolicy, policy
 from ..resilience.faults import active as faults_active
 from ..resilience.faults import fire, install
+from ..tune import RecipeBook, TuneParams, tune
 from .pool import script_requirements
 from .shard import ShardPlan, assign_shards
 from .store import CachedResult, ResultStore
@@ -67,12 +68,15 @@ def _shard_worker_main(
 ) -> None:
     """Child process body: serve circuits off ``inbox`` until ``None``.
 
-    Work items are ``(req_id, name, bench_text, script)`` — ``script``
-    of ``None`` means the configured default flow; each reply is
-    ``(req_id, payload_dict)`` on ``outbox``.  Errors never escape a
-    circuit: they come back as the payload's ``error`` field, so the
-    process survives anything short of a crash — and a crash is exactly
-    what the supervisor's respawn path is for.
+    Work items are ``(req_id, name, bench_text, script, quality_budget_s)``
+    — ``script`` of ``None`` means the configured default flow, and a
+    non-``None`` ``quality_budget_s`` routes the circuit through the
+    tuner instead (the shard keeps one in-memory recipe book, so tuned
+    circuits warm-start from their shard siblings' winning scripts).
+    Each reply is ``(req_id, payload_dict)`` on ``outbox``.  Errors
+    never escape a circuit: they come back as the payload's ``error``
+    field, so the process survives anything short of a crash — and a
+    crash is exactly what the supervisor's respawn path is for.
     """
     install(fault_plan)  # forked children inherit, spawned ones would not
     needs = script_requirements(params.flow)
@@ -86,14 +90,23 @@ def _shard_worker_main(
     pool_workers = max(pool_workers, needs.max_explicit_workers)
     if needs.engine_pool and pool_workers > 1:
         session.warm_engine(pool_workers)
+    recipes = RecipeBook()
     with session:
         while True:
             item = inbox.get()
             if item is None:
                 return
-            req_id, name, bench_text, script = item
+            req_id, name, bench_text, script, quality_budget_s = item
             fire("shard.circuit", pid=os.getpid(), shard=shard_index, circuit=name)
-            payload = _run_one(session, params, name, bench_text, script)
+            payload = _run_one(
+                session,
+                params,
+                name,
+                bench_text,
+                script,
+                quality_budget_s=quality_budget_s,
+                recipes=recipes,
+            )
             outbox.put((req_id, payload))
 
 
@@ -103,14 +116,38 @@ def _run_one(
     name: str,
     bench_text: str,
     script: str | None = None,
+    quality_budget_s: float | None = None,
+    recipes: RecipeBook | None = None,
 ) -> dict:
-    """Run one circuit through ``session``; always return a payload dict."""
+    """Run one circuit through ``session``; always return a payload dict.
+
+    A quality budget (per-request ``quality_budget_s``, falling back to
+    ``params.quality_budget_s``) replaces the fixed script with a tuner
+    search: the payload then carries the chosen flow as
+    ``tuned_script``, and budget expiry produces the best committed
+    result instead of a ``deadline_exceeded`` marker — the tuner's
+    whole contract is best-so-far, not all-or-nothing.
+    """
     started = time.perf_counter()
     payload: dict = {"name": name, "error": None, "deadline_exceeded": False}
+    if quality_budget_s is None:
+        quality_budget_s = params.quality_budget_s
     try:
         g = from_text(bench_text, name=name)
         payload["n_ands_before"] = g.n_ands
         payload["level_before"] = g.max_level()
+        if quality_budget_s is not None:
+            tuned = tune(
+                g,
+                TuneParams(budget_s=quality_budget_s, recipes=recipes),
+                session=session,
+            )
+            payload["tuned_script"] = tuned.script
+            payload["n_ands"] = tuned.n_ands
+            payload["level"] = tuned.level
+            payload["bench_text"] = to_text(tuned.graph)
+            payload["runtime"] = time.perf_counter() - started
+            return payload
         deadline = None
         if params.circuit_timeout_s is not None:
             deadline = Deadline.after(params.circuit_timeout_s)
@@ -135,7 +172,8 @@ class ShardHost:
     """Supervisor-side handle of one shard process.
 
     Owns the spawn/respawn lifecycle and the ``inflight`` ledger
-    (req_id -> (name, bench_text, script)) that makes recovery exact: a respawn
+    (req_id -> (name, bench_text, script, quality_budget_s)) that makes
+    recovery exact: a respawn
     resubmits precisely the submitted-but-unfinished circuits, nothing
     more.  Each (re)spawn gets a **fresh** inbox queue — a queue whose
     feeder thread died with a SIGKILLed reader is not trustworthy — while
@@ -149,7 +187,7 @@ class ShardHost:
         self.params = params
         self.classifier = classifier
         self.outbox = outbox
-        self.inflight: dict[int, tuple[str, str, str | None]] = {}
+        self.inflight: dict[int, tuple[str, str, str | None, float | None]] = {}
         self.attempts = 0  # respawns consumed against the retry budget
         self.process = None
         self.inbox = None
@@ -174,15 +212,20 @@ class ShardHost:
             daemon=True,
         )
         self.process.start()
-        for req_id, (name, bench_text, script) in self.inflight.items():
-            self.inbox.put((req_id, name, bench_text, script))
+        for req_id, (name, bench_text, script, budget) in self.inflight.items():
+            self.inbox.put((req_id, name, bench_text, script, budget))
 
     def submit(
-        self, req_id: int, name: str, bench_text: str, script: str | None = None
+        self,
+        req_id: int,
+        name: str,
+        bench_text: str,
+        script: str | None = None,
+        quality_budget_s: float | None = None,
     ) -> None:
-        self.inflight[req_id] = (name, bench_text, script)
+        self.inflight[req_id] = (name, bench_text, script, quality_budget_s)
         self._occupancy.set(len(self.inflight))
-        self.inbox.put((req_id, name, bench_text, script))
+        self.inbox.put((req_id, name, bench_text, script, quality_budget_s))
 
     def complete(self, req_id: int) -> None:
         self.inflight.pop(req_id, None)
@@ -275,9 +318,14 @@ class ShardSupervisor:
                 per_run_cache=True,
                 cache_entries=self.params.engine_cache_entries,
             )
-        for req_id, (name, bench_text, script) in list(host.inflight.items()):
+        for req_id, (name, bench_text, script, budget) in list(host.inflight.items()):
             payload = _run_one(
-                self._fallback_session, self.params, name, bench_text, script
+                self._fallback_session,
+                self.params,
+                name,
+                bench_text,
+                script,
+                quality_budget_s=budget,
             )
             host.outbox.put((req_id, payload))
             # Settle the ledger here (the drain loop's complete() is a
@@ -317,6 +365,8 @@ def serve_suite_procs(
     calls ``classifier`` directly.
     """
     params = params or ServeParams()
+    if params.quality_budget_s is not None:
+        store = None  # tuned content is wall-clock-dependent: never cached
     plan = assign_shards(suite, params.n_shards, cost)
     ctx = multiprocessing.get_context("fork")
     metrics = obs.metrics()
@@ -391,6 +441,7 @@ def serve_suite_procs(
                     bench_text=payload.get("bench_text"),
                     error=payload["error"],
                     deadline_exceeded=payload["deadline_exceeded"],
+                    tuned_script=payload.get("tuned_script"),
                 )
                 metrics.histogram(
                     "serve_circuit_seconds", shard=str(host.shard)

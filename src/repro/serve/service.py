@@ -27,14 +27,24 @@ Wire protocol (one JSON object per line)::
     {"op": "ping"}
     {"op": "optimize", "name": "adder", "bench": "<BENCH text>",
      "script": "b; rf"}                     # script optional
+    {"op": "optimize", "name": "adder", "bench": "<BENCH text>",
+     "quality_budget_s": 2.0}                # tuned: best result in 2 s
     {"op": "stats"}                          # cache + shard occupancy
     {"op": "metrics"}                        # Prometheus text exposition
     {"op": "shutdown"}
 
 Responses carry ``ok`` plus op-specific fields; an optimize response
 has ``bench``, ``n_ands``, ``level``, ``cached`` and ``runtime``.
+``quality_budget_s`` routes the request through the per-circuit tuner
+(:mod:`repro.tune`) instead of a fixed script: the shard searches for
+the best flow it can find within the budget and the response carries
+the chosen script as ``tuned_script``.  Budget expiry is *not* an error
+— the response is the best committed result so far — and tuned results
+bypass the content-addressed cache entirely (their content depends on
+the wall clock, so caching one would freeze a timing accident).
 Request latency lands on the ``serve_request_seconds`` histogram
-(labeled by outcome: ``hit`` / ``miss`` / ``rejected`` / ``error``);
+(labeled by outcome: ``hit`` / ``miss`` / ``tuned`` / ``rejected`` /
+``error``);
 ``--metrics FILE`` exports the full registry in Prometheus text format
 on shutdown.  :func:`request` is the matching blocking client used by
 the demo tool and the tests.
@@ -246,7 +256,10 @@ class OptimizeService:
         try:
             response = await self._optimize_inner(message)
             if response["ok"]:
-                outcome = "hit" if response["cached"] else "miss"
+                if response.get("tuned_script") is not None:
+                    outcome = "tuned"
+                else:
+                    outcome = "hit" if response["cached"] else "miss"
             elif response["error"]["type"] == "overloaded":
                 outcome = "rejected"
             return response
@@ -264,6 +277,22 @@ class OptimizeService:
                 "ok": False,
                 "error": {"type": "bad_request", "detail": "missing bench text"},
             }
+        quality_budget_s = message.get("quality_budget_s")
+        if quality_budget_s is not None:
+            if (
+                isinstance(quality_budget_s, bool)
+                or not isinstance(quality_budget_s, (int, float))
+                or quality_budget_s <= 0
+            ):
+                return {
+                    "ok": False,
+                    "error": {
+                        "type": "bad_request",
+                        "detail": "quality_budget_s must be a positive number",
+                    },
+                }
+            quality_budget_s = float(quality_budget_s)
+            return await self._optimize_tuned(name, bench, quality_budget_s)
         try:
             # normalize_script is the *strict* resolver — an unknown
             # command or flag must become a typed rejection here, not a
@@ -345,13 +374,67 @@ class OptimizeService:
         finally:
             self._pending -= 1
 
-    async def _run_sharded(self, name: str, bench: str, script: str) -> dict:
+    async def _optimize_tuned(self, name: str, bench: str, budget_s: float) -> dict:
+        """Quality-budget request: tuner search on a shard, never cached.
+
+        The store is bypassed in both directions — a cached fixed-flow
+        result could be worse than what the budget buys, and a tuned
+        result's content depends on the wall clock.  Budget expiry comes
+        back as a normal ``ok`` response holding the best committed
+        result; only a real flow failure is a typed error.
+        """
+        if self._pending >= self.config.max_pending:
+            obs.counter("serve_rejected_total").add(1)
+            return {
+                "ok": False,
+                "error": {
+                    "type": "overloaded",
+                    "pending": self._pending,
+                    "limit": self.config.max_pending,
+                },
+            }
+        self._pending += 1
+        try:
+            g = from_text(bench, name=name)
+            payload = await self._run_sharded(
+                name, bench, None, quality_budget_s=budget_s
+            )
+            if payload.get("error") is not None:
+                return {
+                    "ok": False,
+                    "name": name,
+                    "error": {"type": "flow_error", "detail": payload["error"]},
+                }
+            return {
+                "ok": True,
+                "name": name,
+                "cached": False,
+                "bench": payload.get("bench_text"),
+                "n_ands": payload.get("n_ands", 0),
+                "level": payload.get("level", 0),
+                "n_ands_before": payload.get("n_ands_before", g.n_ands),
+                "level_before": payload.get("level_before", 0),
+                "deadline_exceeded": payload["deadline_exceeded"],
+                "tuned_script": payload.get("tuned_script", ""),
+                "quality_budget_s": budget_s,
+                "runtime": payload.get("runtime", 0.0),
+            }
+        finally:
+            self._pending -= 1
+
+    async def _run_sharded(
+        self,
+        name: str,
+        bench: str,
+        script: str | None,
+        quality_budget_s: float | None = None,
+    ) -> dict:
         req_id = self._next_req
         self._next_req += 1
         future: asyncio.Future = self._loop.create_future()
         self._futures[req_id] = future
         host = self._least_loaded()
-        host.submit(req_id, name, bench, script)
+        host.submit(req_id, name, bench, script, quality_budget_s)
         return await future
 
     def _stats(self) -> dict:

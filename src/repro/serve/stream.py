@@ -40,6 +40,7 @@ from ..errors import DeadlineExceeded
 from ..opt.flow import FlowReport
 from ..opt.session import OptSession
 from ..resilience import Deadline, policy
+from ..tune import RecipeBook, TuneParams, tune
 from .pool import FusionStats, SharedClassifierService, script_requirements
 from .shard import ShardPlan, assign_shards
 
@@ -70,6 +71,15 @@ class ServeParams:
     serving session creates (LRU entries per layer, see
     :class:`repro.engine.ResynthCache`); ``None`` is unbounded — fine
     for one suite, set it on long-lived services.
+
+    ``quality_budget_s`` switches the run into **tuned** mode: instead
+    of executing ``flow``, each circuit gets a per-circuit script search
+    (:func:`repro.tune.tune`) under that wall-clock budget and yields
+    the best committed result when it expires — never an error, never a
+    torn network (see ``docs/tuning.md``).  Tuned results carry the
+    chosen script on ``ServeResult.tuned_script`` and are **never**
+    entered into a content-addressed store: their content depends on the
+    wall clock, so caching one would freeze a timing accident.
     """
 
     flow: str = "rf"
@@ -79,6 +89,7 @@ class ServeParams:
     keep_graphs: bool = True
     circuit_timeout_s: float | None = None
     engine_cache_entries: int | None = None
+    quality_budget_s: float | None = None
 
 
 @dataclass
@@ -103,6 +114,8 @@ class ServeResult:
     # True when the result came out of a content-addressed ResultStore
     # (shard is -1 then: no shard ever saw the request).
     cached: bool = False
+    # The script the tuner chose (quality-budget mode only, else None).
+    tuned_script: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -158,6 +171,10 @@ def serve_stream(
     store.
     """
     params = params or ServeParams()
+    if params.quality_budget_s is not None:
+        # Tuned content depends on the wall clock: the store can neither
+        # answer nor learn from a quality-budget run.
+        store = None
     if plan is None:
         plan = assign_shards(suite, params.n_shards, cost)
     cache_keys: dict[str, tuple] = {}
@@ -220,6 +237,10 @@ def serve_stream(
         if needs.engine_pool and pool_workers > 1:
             session.warm_engine(pool_workers)
         sessions.append(session)
+        # Quality-budget mode: the shard shares one in-memory recipe
+        # book, so a tuned circuit warm-starts from scripts its shard
+        # siblings already discovered (thread-safe; never persisted).
+        recipes = RecipeBook() if params.quality_budget_s is not None else None
         for name in names:
             threads.append(
                 threading.Thread(
@@ -235,6 +256,7 @@ def serve_stream(
                         results,
                         store,
                         cache_keys.get(name),
+                        recipes,
                     ),
                     daemon=True,
                 )
@@ -314,6 +336,7 @@ def _serve_one(
     results: "queue.Queue[ServeResult]",
     store=None,
     cache_key: tuple | None = None,
+    recipes: RecipeBook | None = None,
 ) -> None:
     """Thread body: run the flow on a clone, push one result, always.
 
@@ -321,7 +344,10 @@ def _serve_one(
     the per-circuit fused classifier client — when the shard fuses —
     rides in as this run's classifier override.  A clean (non-error,
     non-deadline) result is inserted into ``store`` under ``cache_key``
-    when a content-addressed cache fronts this run.
+    when a content-addressed cache fronts this run.  With
+    ``params.quality_budget_s`` set the fixed flow is replaced by a
+    per-circuit tuner search sharing the shard's ``recipes`` book;
+    budget expiry yields the best committed result, never an error.
     """
     result = ServeResult(
         name=name,
@@ -339,10 +365,19 @@ def _serve_one(
     span = obs.span("serve.circuit", circuit=name, shard=shard)
     try:
         with span:
-            out, report = session.run(
-                g.clone(), params.flow, classifier=client, deadline=deadline
-            )
-            result.report = report
+            if params.quality_budget_s is not None:
+                tuned = tune(
+                    g,
+                    TuneParams(budget_s=params.quality_budget_s, recipes=recipes),
+                    session=session,
+                )
+                out = tuned.graph
+                result.tuned_script = tuned.script
+            else:
+                out, report = session.run(
+                    g.clone(), params.flow, classifier=client, deadline=deadline
+                )
+                result.report = report
             result.n_ands = out.n_ands
             result.level = out.max_level()
             result.bench_text = to_text(out)

@@ -1,0 +1,47 @@
+"""``repro.tune`` — budgeted per-circuit flow search (the script tuner).
+
+The fixed ``resyn2``/``compress2`` recipes leave gains on the table:
+different circuit families reward different command orders.  This
+package finds a per-circuit script under an explicit wall-clock budget:
+
+* :mod:`repro.tune.features` — a cheap deterministic circuit fingerprint
+  (size/level histogram + the ELF classifier's cut-structure features)
+  that seeds search priors and keys learned recipes;
+* :mod:`repro.tune.search` — the anytime UCB bandit over registry
+  commands and bigrams, probing on a warm
+  :class:`repro.opt.OptSession` (snapshot, measure, roll back), scoring
+  arms by AND-reduction-per-second and always returning the best
+  committed script when the :class:`repro.resilience.Deadline` expires;
+* :mod:`repro.tune.recipes` — JSON persistence of winning scripts keyed
+  by feature bucket, so similar circuits warm-start from learned flows.
+
+Entry points: :func:`tune` in library code, ``python -m repro tune`` on
+the command line, and ``quality_budget_s`` on
+:class:`repro.serve.ServeParams` / the serve protocol for "best result
+within N seconds" service requests.  See ``docs/tuning.md``.
+"""
+
+from .features import CircuitFeatures, feature_bucket, fingerprint
+from .recipes import Recipe, RecipeBook
+from .search import (
+    ProbeRecord,
+    TuneParams,
+    TuneResult,
+    default_arms,
+    seed_priors,
+    tune,
+)
+
+__all__ = [
+    "CircuitFeatures",
+    "ProbeRecord",
+    "Recipe",
+    "RecipeBook",
+    "TuneParams",
+    "TuneResult",
+    "default_arms",
+    "feature_bucket",
+    "fingerprint",
+    "seed_priors",
+    "tune",
+]

@@ -1,0 +1,155 @@
+"""Recipe persistence: winning scripts survive the process that found them.
+
+A tuner that forgets everything between runs re-pays the whole search
+for every circuit of a shape it has already solved.  The
+:class:`RecipeBook` is the learned half of the tuner: winning scripts
+are filed under their circuit's :func:`repro.tune.features.feature_bucket`
+key, so a later run on a similar circuit replays the learned script as
+its warm-start trajectory (see :class:`repro.tune.search.TuneParams`)
+and spends its budget *improving* on it instead of rediscovering it.
+
+Storage model — deliberately boring:
+
+* scripts are normalized through
+  :meth:`repro.opt.registry.CommandRegistry.normalize_script` before
+  storage, so ``"f; fz"`` and ``"rf; rfz"`` are one recipe and a recipe
+  that no longer resolves is rejected at :meth:`RecipeBook.record` time;
+* the on-disk format is one JSON object
+  (``{"format": 1, "registry": <version>, "recipes": {bucket: {...}}}``)
+  written atomically (tmp file + ``os.replace``), human-diffable and
+  safe against a crash mid-write;
+* the file is fenced by
+  :attr:`repro.opt.registry.CommandRegistry.version` exactly like the
+  serving result store: recipes learned under one command surface are
+  discarded, not misapplied, when the registry changes;
+* a bucket keeps its **best** recipe only — :meth:`record` replaces an
+  entry just when the new gain strictly beats the stored one, so a noisy
+  late run cannot regress a bucket.
+
+``path=None`` gives an in-memory book (the serve tier's default: shard
+processes tune independently and the service decides what to persist).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..errors import ReproError
+from ..opt.registry import CommandRegistry, default_registry
+
+RECIPE_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """One learned flow: the script plus the evidence it earned."""
+
+    script: str  # normalized command sequence
+    gain_pct: float  # AND reduction (%) it achieved when recorded
+    n_ands: int  # size of the circuit it was learned on
+    probes: int  # search effort that produced it
+    source: str = ""  # circuit name, for humans reading the JSON
+
+
+class RecipeBook:
+    """Bucket-keyed best-recipe store with optional JSON persistence."""
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        registry: CommandRegistry | None = None,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.registry = registry if registry is not None else default_registry()
+        self._lock = threading.Lock()
+        self._recipes: dict[str, Recipe] = {}
+        if self.path is not None and self.path.is_file():
+            self._load()
+
+    # -- persistence ----------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return  # unreadable/corrupt: start empty, next save rewrites it
+        if payload.get("format") != RECIPE_FORMAT:
+            return
+        if payload.get("registry") != self.registry.version:
+            # Learned under a different command surface: a stored script
+            # may no longer resolve (or resolve to different behavior).
+            return
+        for bucket, entry in payload.get("recipes", {}).items():
+            try:
+                recipe = Recipe(
+                    script=str(entry["script"]),
+                    gain_pct=float(entry["gain_pct"]),
+                    n_ands=int(entry["n_ands"]),
+                    probes=int(entry["probes"]),
+                    source=str(entry.get("source", "")),
+                )
+                self.registry.normalize_script(recipe.script)
+            except (KeyError, TypeError, ValueError, ReproError):
+                continue  # skip malformed entries, keep the rest
+            self._recipes[bucket] = recipe
+
+    def save(self) -> None:
+        """Write the book to ``path`` atomically (no-op when in-memory)."""
+        if self.path is None:
+            return
+        payload = {
+            "format": RECIPE_FORMAT,
+            "registry": self.registry.version,
+            "recipes": {
+                bucket: asdict(recipe)
+                for bucket, recipe in sorted(self._recipes.items())
+            },
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        os.replace(tmp, self.path)
+
+    # -- access ---------------------------------------------------------------
+
+    def lookup(self, bucket: str) -> Recipe | None:
+        with self._lock:
+            return self._recipes.get(bucket)
+
+    def record(self, bucket: str, recipe: Recipe, save: bool = True) -> bool:
+        """File ``recipe`` under ``bucket`` if it beats the stored one.
+
+        The script is normalized first (raising
+        :class:`repro.errors.ReproError` when it does not resolve — an
+        unexecutable recipe must never be persisted).  Returns True when
+        the book changed; ``save=False`` defers the disk write for
+        callers batching several records.
+        """
+        normalized = self.registry.normalize_script(recipe.script)
+        recipe = Recipe(
+            script=normalized,
+            gain_pct=recipe.gain_pct,
+            n_ands=recipe.n_ands,
+            probes=recipe.probes,
+            source=recipe.source,
+        )
+        with self._lock:
+            existing = self._recipes.get(bucket)
+            if existing is not None and existing.gain_pct >= recipe.gain_pct:
+                return False
+            self._recipes[bucket] = recipe
+            if save:
+                self.save()
+            return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._recipes)
+
+    def buckets(self) -> list[str]:
+        with self._lock:
+            return sorted(self._recipes)

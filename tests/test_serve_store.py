@@ -148,6 +148,67 @@ class TestStoreLRU:
         assert hit is not None and hit.bench_text == text
 
 
+class TestStoreSpill:
+    def test_insert_writes_one_spill_file(self, tmp_path):
+        store = ResultStore(spill_dir=tmp_path)
+        key = ("digest0", "rf", "v")
+        store.insert(key, _entry("k0"))
+        files = list(tmp_path.glob("*.json"))
+        assert len(files) == 1 and store.spill_writes == 1
+        # In-memory lookups never touch the disk tier.
+        assert store.lookup(key) == _entry("k0")
+        assert store.spill_loads == 0
+
+    def test_fresh_store_reloads_from_spill_as_a_hit(self, tmp_path):
+        old = ResultStore(spill_dir=tmp_path)
+        key = ("digest1", "rf", "v")
+        old.insert(key, _entry("k1"))
+        # A restarted service: empty memory, same spill directory.
+        fresh = ResultStore(spill_dir=tmp_path)
+        assert len(fresh) == 0
+        hit = fresh.lookup(key)
+        assert hit == _entry("k1")
+        assert fresh.spill_loads == 1 and fresh.hits == 1 and fresh.misses == 0
+        assert key in fresh  # the reload re-entered the memory LRU
+        fresh.lookup(key)
+        assert fresh.spill_loads == 1  # second hit is pure memory
+
+    def test_eviction_never_deletes_spill_files(self, tmp_path):
+        store = ResultStore(max_entries=1, spill_dir=tmp_path)
+        keys = [(f"digest{i}", "rf", "v") for i in range(2)]
+        store.insert(keys[0], _entry("k0"))
+        store.insert(keys[1], _entry("k1"))  # evicts keys[0] from memory
+        assert keys[0] not in store and store.evictions == 1
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        # The evicted entry comes back from disk...
+        assert store.lookup(keys[0]) == _entry("k0")
+        assert store.spill_loads == 1
+        # ...at the cost of evicting keys[1], which also reloads.
+        assert store.lookup(keys[1]) == _entry("k1")
+        assert store.spill_loads == 2
+
+    def test_corrupt_and_alien_spill_files_are_misses(self, tmp_path):
+        store = ResultStore(spill_dir=tmp_path)
+        key = ("digest2", "rf", "v")
+        store.insert(key, _entry("k2"))
+        path = store._spill_path(key)
+        path.write_text("{not json", encoding="utf-8")
+        fresh = ResultStore(spill_dir=tmp_path)
+        assert fresh.lookup(key) is None and fresh.misses == 1
+        # A file whose embedded key disagrees with the address is alien
+        # (collision / tampering) and must not be trusted either.
+        store._spill_write(("other", "rw", "v"), _entry("k3"))
+        alien = store._spill_path(("other", "rw", "v"))
+        path.write_bytes(alien.read_bytes())
+        assert fresh.lookup(key) is None and fresh.misses == 2
+
+    def test_no_spill_dir_means_no_disk_io(self, tmp_path):
+        store = ResultStore()
+        store.insert(("digest3", "rf", "v"), _entry("k4"))
+        assert store.spill_writes == 0 and store.spill_loads == 0
+        assert list(tmp_path.iterdir()) == []
+
+
 class TestEngineCacheLRU:
     def test_exact_layer_evicts_lru_and_counts(self):
         before = obs.metrics().total("engine_cache_evictions_total")

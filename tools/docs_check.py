@@ -26,6 +26,11 @@ Two checks, both cheap enough to run inside the default test target:
    entry point, ``docs/observability.md`` the ``serve_cache_hits_total``
    counter family, ``docs/robustness.md`` the shard respawn path, and
    the README quickstart has to mention ``repro serve``.
+5. **Tuning coverage.**  ``docs/tuning.md`` must describe the
+   ``python -m repro tune`` entry point, the serve ``quality_budget_s``
+   knob and recipe persistence; ``docs/serving.md`` and
+   ``docs/flows.md`` must link to it, and ``docs/observability.md``
+   must cover the ``tune_*`` counter family.
 
 Exit status 0 on success; prints every failure before exiting non-zero.
 """
@@ -43,6 +48,7 @@ DOCSTRING_TREES = (
     "src/repro/serve",
     "src/repro/obs",
     "src/repro/resilience",
+    "src/repro/tune",
 )
 DOCSTRING_FILES = (
     "src/repro/aig/simulate.py",
@@ -146,12 +152,36 @@ def check_serving_docs() -> list[str]:
     return failures
 
 
+TUNING_COVERAGE = (
+    # (file, required substring, what its absence means)
+    ("docs/tuning.md", "python -m repro tune", "tuner entry point undocumented"),
+    ("docs/tuning.md", "quality_budget_s", "serve quality-budget knob undocumented"),
+    ("docs/tuning.md", "recipes", "recipe persistence undocumented"),
+    ("docs/serving.md", "tuning.md", "serving docs do not link the tuner"),
+    ("docs/flows.md", "tuning.md", "flow docs do not link the tuner"),
+    ("docs/observability.md", "tune_probes_total", "tuner counter family undocumented"),
+)
+
+
+def check_tuning_docs() -> list[str]:
+    failures: list[str] = []
+    for name, needle, meaning in TUNING_COVERAGE:
+        path = REPO / name
+        if not path.is_file():
+            failures.append(f"{name}: missing")
+            continue
+        if needle not in path.read_text(encoding="utf-8"):
+            failures.append(f"{name}: {meaning} (expected {needle!r})")
+    return failures
+
+
 def main() -> int:
     failures = (
         check_module_docstrings()
         + check_readme_examples()
         + check_doc_crosslinks()
         + check_serving_docs()
+        + check_tuning_docs()
     )
     for failure in failures:
         print(f"docs-check: {failure}", file=sys.stderr)

@@ -31,7 +31,12 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-LINTED_TREES = ("src/repro/engine", "src/repro/serve", "src/repro/resilience")
+LINTED_TREES = (
+    "src/repro/engine",
+    "src/repro/serve",
+    "src/repro/resilience",
+    "src/repro/tune",
+)
 PRAGMA = "# lint-faults:"
 BROAD_NAMES = {"Exception", "BaseException"}
 METRIC_METHODS = {"add", "observe", "inc", "set"}

@@ -30,6 +30,7 @@ LINTED_TREES = (
     "src/repro/opt",
     "src/repro/serve",
     "src/repro/resilience",
+    "src/repro/tune",
 )
 
 
